@@ -1,0 +1,27 @@
+//! DHT operation cost (simulation wall-clock) — criterion companion to E5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dex::prelude::*;
+use std::hint::black_box;
+
+fn bench_dht(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dht_ops");
+    group.sample_size(20);
+    for n in [64u64, 512] {
+        group.bench_with_input(BenchmarkId::new("insert_lookup", n), &n, |b, &n| {
+            let mut net = DexNetwork::bootstrap(DexConfig::new(5).simplified(), n);
+            let from = net.node_ids()[0];
+            let mut k = 0u64;
+            b.iter(|| {
+                net.dht_insert(from, k, k);
+                let (v, _) = net.dht_lookup(from, k);
+                k += 1;
+                black_box(v)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dht);
+criterion_main!(benches);

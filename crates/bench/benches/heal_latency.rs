@@ -1,0 +1,29 @@
+//! Healing latency (simulation wall-clock) vs network size — the
+//! criterion companion to experiment E1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dex::prelude::*;
+use std::hint::black_box;
+
+fn bench_heal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heal_latency");
+    group.sample_size(20);
+    for n in [64u64, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("insert_delete", n), &n, |b, &n| {
+            let mut net = DexNetwork::bootstrap(DexConfig::new(9).staggered(), n);
+            let mut next = 20_000_000u64;
+            b.iter(|| {
+                let v = net.node_ids()[0];
+                let id = NodeId(next);
+                next += 1;
+                net.insert(id, v);
+                net.delete(id);
+                black_box(net.n());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heal);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Spectral measurement cost: the power-iteration solver vs the dense
+//! Jacobi oracle (the measurement machinery behind E2/E8).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dex::prelude::*;
+use std::hint::black_box;
+
+fn bench_spectral(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectral");
+    group.sample_size(10);
+
+    let small = PCycle::new(127).to_multigraph();
+    group.bench_function("jacobi_dense_p127", |b| {
+        b.iter(|| black_box(spectral::dense_spectrum(&small).lambda2));
+    });
+
+    let big = PCycle::new(4099).to_multigraph();
+    group.bench_function("power_iteration_p4099", |b| {
+        b.iter(|| black_box(spectral::power_lambda2(&big, 4000, 1e-9, 7)));
+    });
+
+    // Contracted (DEX-shaped) network measurement.
+    let net = DexNetwork::bootstrap(DexConfig::new(9).simplified(), 1024);
+    group.bench_function("dex_network_gap_n1024", |b| {
+        b.iter(|| black_box(net.spectral_gap()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_spectral);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Wall-clock cost of one healed insertion+deletion per overlay
+//! (criterion companion to the Table-1 harness binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dex::prelude::*;
+use std::hint::black_box;
+
+fn bench_overlay_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_ops");
+    group.sample_size(20);
+
+    group.bench_function("dex_insert_delete_n256", |b| {
+        let mut net = DexNetwork::bootstrap(DexConfig::new(1).simplified(), 256);
+        let mut next = 10_000_000u64;
+        b.iter(|| {
+            let v = net.node_ids()[0];
+            let id = NodeId(next);
+            next += 1;
+            net.insert(id, v);
+            net.delete(id);
+            black_box(net.n());
+        });
+    });
+
+    group.bench_function("law_siu_insert_delete_n256", |b| {
+        let mut ls = LawSiu::bootstrap(2, 256, 3);
+        let mut next = 10_000_000u64;
+        b.iter(|| {
+            let v = ls.node_ids()[0];
+            let id = NodeId(next);
+            next += 1;
+            ls.insert(id, v);
+            ls.delete(id);
+            black_box(ls.n());
+        });
+    });
+
+    group.bench_function("skip_lite_insert_delete_n256", |b| {
+        let mut s = SkipLite::bootstrap(3, 256);
+        let mut next = 10_000_000u64;
+        b.iter(|| {
+            let v = s.node_ids()[0];
+            let id = NodeId(next);
+            next += 1;
+            s.insert(id, v);
+            s.delete(id);
+            black_box(s.n());
+        });
+    });
+
+    group.bench_function("flooding_insert_delete_n256", |b| {
+        let mut f = Flooding::bootstrap(4, 256, 4);
+        let mut next = 10_000_000u64;
+        b.iter(|| {
+            let v = f.node_ids()[0];
+            let id = NodeId(next);
+            next += 1;
+            f.insert(id, v);
+            f.delete(id);
+            black_box(f.n());
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_overlay_ops);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Type-2 recovery cost (simulation wall-clock): growth workload through
+//! inflations, simplified vs staggered — criterion companion to E4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dex::prelude::*;
+use std::hint::black_box;
+
+fn grow_workload(cfg: DexConfig) -> usize {
+    let mut net = DexNetwork::bootstrap(cfg, 16);
+    let mut ids = IdAllocator::new();
+    for i in 0..400 {
+        let live = net.node_ids();
+        net.insert(ids.fresh(), live[i % live.len()]);
+    }
+    net.n()
+}
+
+fn bench_type2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("type2_growth_400_inserts");
+    group.sample_size(10);
+    group.bench_function("simplified", |b| {
+        b.iter(|| black_box(grow_workload(DexConfig::new(3).simplified())));
+    });
+    group.bench_function("staggered", |b| {
+        b.iter(|| black_box(grow_workload(DexConfig::new(3).staggered())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_type2);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! **E6 / Sect. 5, Corollary 2** — batch churn: εn insertions or
+//! deletions per step.
+//!
+//! ```sh
+//! cargo run --release -p dex-bench --bin exp_batch
+//! ```
+
+use dex::prelude::*;
+use dex_bench::{grow_to, print_table, sss};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    println!("E6: batch insertions/deletions per step (simplified mode, Cor. 2)");
+    let mut rows = Vec::new();
+    for batch in [1usize, 4, 16, 64] {
+        let mut net = DexNetwork::bootstrap(DexConfig::new(31).simplified(), 64);
+        grow_to(&mut net, 256, 32);
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut ids = IdAllocator::new();
+        let mut ins_ms = Vec::new();
+        let mut del_ms = Vec::new();
+        for round in 0..20 {
+            if round % 2 == 0 {
+                let live = net.node_ids();
+                let joins: Vec<(NodeId, NodeId)> = (0..batch)
+                    .map(|_| {
+                        (
+                            ids.fresh(),
+                            live[rng.random_range(0..live.len())],
+                        )
+                    })
+                    .collect();
+                // Respect the O(1) fan-in condition by deduplicating
+                // attach points when the batch is large.
+                let mut seen = std::collections::HashMap::new();
+                let joins: Vec<(NodeId, NodeId)> = joins
+                    .into_iter()
+                    .map(|(id, v)| {
+                        let c = seen.entry(v).or_insert(0usize);
+                        *c += 1;
+                        if *c > 8 {
+                            let live = net.node_ids();
+                            (id, live[rng.random_range(0..live.len())])
+                        } else {
+                            (id, v)
+                        }
+                    })
+                    .collect();
+                let m = net.insert_batch(&joins);
+                ins_ms.push(m.messages);
+            } else {
+                let live = net.node_ids();
+                let mut victims: Vec<NodeId> = Vec::new();
+                while victims.len() < batch && victims.len() + 8 < live.len() {
+                    let v = live[rng.random_range(0..live.len())];
+                    if !victims.contains(&v) {
+                        victims.push(v);
+                    }
+                }
+                let m = net.delete_batch(&victims);
+                del_ms.push(m.messages);
+            }
+            invariants::assert_ok(&net);
+        }
+        rows.push(vec![
+            format!("{batch}"),
+            format!("{}", net.n()),
+            sss(&Summary::of(ins_ms.iter().copied())),
+            sss(&Summary::of(del_ms.iter().copied())),
+        ]);
+    }
+    print_table(
+        "messages per batch step",
+        &["batch size", "n@end", "insert-batch p50/p95/max", "delete-batch p50/p95/max"],
+        &rows,
+    );
+    println!("\nexpected: cost grows ~linearly in the batch size (k·log n), well below k·n.");
+}

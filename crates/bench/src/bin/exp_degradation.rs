@@ -1,0 +1,116 @@
+//! **E8 / Sect. 1 + 3 motivation** — probabilistic constructions degrade;
+//! DEX does not.
+//!
+//! Runs DEX, Law–Siu, skip-lite, and naive patching under (a) long random
+//! churn and (b) an adaptive cut attack, sampling the spectral gap.
+//!
+//! ```sh
+//! cargo run --release -p dex-bench --bin exp_degradation
+//! ```
+
+use dex::prelude::*;
+use dex_bench::print_table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Drive any overlay with the spectral cut-attacker (it only needs the
+/// graph): the true Fiedler sweep cut, thinned node by node.
+fn adaptive_attack(o: &mut dyn Overlay, steps: usize, seed: u64) -> (f64, f64) {
+    let mut adv = SpectralCutAttacker::new(seed);
+    let mut ids = IdAllocator::new();
+    let mut min_gap = f64::INFINITY;
+    for _ in 0..steps {
+        let action = {
+            let load = |_u| 1u64;
+            let owner = |_z| None;
+            let view = View {
+                graph: o.graph(),
+                load: &load,
+                owner: &owner,
+                p: 0,
+            };
+            adv.next(&view)
+        };
+        match action {
+            Action::Insert { attach, .. } => {
+                o.insert(ids.fresh(), attach);
+            }
+            Action::Delete { victim } => {
+                if o.n() > 8 {
+                    o.delete(victim);
+                }
+            }
+        }
+        min_gap = min_gap.min(o.spectral_gap());
+    }
+    (min_gap, o.spectral_gap())
+}
+
+fn random_churn(o: &mut dyn Overlay, steps: usize, seed: u64) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids = IdAllocator::new();
+    let mut min_gap = f64::INFINITY;
+    for s in 0..steps {
+        let live = o.node_ids();
+        if rng.random_bool(0.5) || live.len() <= 8 {
+            o.insert(ids.fresh(), live[rng.random_range(0..live.len())]);
+        } else {
+            o.delete(live[rng.random_range(0..live.len())]);
+        }
+        if s % 10 == 0 {
+            min_gap = min_gap.min(o.spectral_gap());
+        }
+    }
+    (min_gap, o.spectral_gap())
+}
+
+type OverlayCtor = Box<dyn Fn() -> Box<dyn Overlay>>;
+
+fn main() {
+    let steps = 500;
+    println!("E8: expansion under churn — deterministic (DEX) vs probabilistic/naive overlays");
+    let mk: Vec<(&str, OverlayCtor)> = vec![
+        (
+            "dex",
+            Box::new(|| Box::new(DexNetwork::bootstrap(DexConfig::new(51).staggered(), 48))),
+        ),
+        ("law-siu", Box::new(|| Box::new(LawSiu::bootstrap(52, 48, 3)))),
+        ("skip-lite", Box::new(|| Box::new(SkipLite::bootstrap(53, 48)))),
+        (
+            "naive-patch",
+            Box::new(|| Box::new(NaivePatch::bootstrap(54, 48))),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, ctor) in &mk {
+        let mut o1 = ctor();
+        let (rmin, rend) = random_churn(o1.as_mut(), steps, 55);
+        let mut o2 = ctor();
+        let (amin, aend) = adaptive_attack(o2.as_mut(), steps, 56);
+        rows.push(vec![
+            name.to_string(),
+            format!("{rmin:.4}"),
+            format!("{rend:.4}"),
+            format!("{amin:.4}"),
+            format!("{aend:.4}"),
+            format!("{}", o2.max_degree()),
+        ]);
+    }
+    print_table(
+        "min/final spectral gap over 500 steps",
+        &[
+            "overlay",
+            "random min",
+            "random end",
+            "adaptive min",
+            "adaptive end",
+            "deg after attack",
+        ],
+        &rows,
+    );
+    println!(
+        "\nexpected: DEX's gap never leaves a constant band in either column;\n\
+         naive-patch decays under attack; law-siu/skip-lite hold only probabilistically\n\
+         (weaker minima under the adaptive column) and skip-lite pays log-degree."
+    );
+}

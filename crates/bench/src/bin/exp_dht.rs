@@ -1,0 +1,55 @@
+//! **E5 / Sect. 4.4.4** — DHT insert/lookup cost vs network size, and
+//! correctness through churn.
+//!
+//! ```sh
+//! cargo run --release -p dex-bench --bin exp_dht
+//! ```
+
+use dex::prelude::*;
+use dex_bench::{grow_to, log2, print_table, sss};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    println!("E5: DHT operations are O(log n) rounds and messages");
+    let mut rows = Vec::new();
+    for n in [64usize, 256, 1024, 4096] {
+        let mut net = DexNetwork::bootstrap(DexConfig::new(21).simplified(), 64);
+        grow_to(&mut net, n, 22);
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut ins = Vec::new();
+        let mut looks = Vec::new();
+        for k in 0..200u64 {
+            let live = net.node_ids();
+            let from = live[rng.random_range(0..live.len())];
+            let m = net.dht_insert(from, k, k);
+            ins.push(m.messages);
+        }
+        let mut lost = 0;
+        for k in 0..200u64 {
+            let live = net.node_ids();
+            let from = live[rng.random_range(0..live.len())];
+            let (v, m) = net.dht_lookup(from, k);
+            looks.push(m.messages);
+            if v != Some(k) {
+                lost += 1;
+            }
+        }
+        let si = Summary::of(ins.iter().copied());
+        let sl = Summary::of(looks.iter().copied());
+        rows.push(vec![
+            format!("{n}"),
+            format!("{}", log2(n)),
+            sss(&si),
+            sss(&sl),
+            format!("{:.2}", sl.p95 as f64 / log2(n) as f64),
+            format!("{lost}"),
+        ]);
+    }
+    print_table(
+        "DHT cost vs size (messages per op)",
+        &["n", "log2 n", "insert p50/p95/max", "lookup p50/p95/max", "lkp.p95/log n", "lost"],
+        &rows,
+    );
+    println!("\nexpected: the ratio column is ~constant (O(log n) ops); lost = 0.");
+}

@@ -1,0 +1,55 @@
+//! **E1 / Theorem 1** — per-step recovery cost vs network size.
+//!
+//! Sweeps n over powers of two, runs the same relative churn at every
+//! size, and prints rounds / messages / topology changes per step. The
+//! paper's claim: rounds and messages grow like log n (w.h.p., worst
+//! case), topology changes stay O(1).
+//!
+//! ```sh
+//! cargo run --release -p dex-bench --bin exp_scaling
+//! ```
+
+use dex::prelude::*;
+use dex_bench::{grow_to, log2, print_table, sss, Schedule};
+
+fn main() {
+    let steps = 300usize;
+    println!("E1: per-step cost scaling (staggered mode, θ = 1/64, {steps} churn steps per size)");
+    let mut rows = Vec::new();
+    for n in [64usize, 128, 256, 512, 1024, 2048, 4096] {
+        let mut net = DexNetwork::bootstrap(DexConfig::new(1).staggered(), 64);
+        grow_to(&mut net, n, 2);
+        let start = net.net.history.len();
+        let sched = Schedule::random(3, steps, 0.5);
+        sched.apply(&mut net);
+        let h = &net.net.history[start..];
+        let type1: Vec<_> = h.iter().filter(|m| !m.recovery.is_type2()).collect();
+        let rounds = Summary::of(type1.iter().map(|m| m.rounds));
+        let msgs = Summary::of(type1.iter().map(|m| m.messages));
+        let topo = Summary::of(type1.iter().map(|m| m.topology_changes));
+        rows.push(vec![
+            format!("{n}"),
+            format!("{}", log2(n)),
+            sss(&rounds),
+            format!("{:.1}", rounds.p95 as f64 / log2(n) as f64),
+            sss(&msgs),
+            format!("{:.1}", msgs.p95 as f64 / log2(n) as f64),
+            sss(&topo),
+        ]);
+        invariants::assert_ok(&net);
+    }
+    print_table(
+        "Theorem 1 shape: rounds & messages ~ c·log n, topology changes flat",
+        &[
+            "n",
+            "log2 n",
+            "rounds p50/p95/max",
+            "r.p95/log n",
+            "msgs p50/p95/max",
+            "m.p95/log n",
+            "topoΔ p50/p95/max",
+        ],
+        &rows,
+    );
+    println!("\nexpected: the two ratio columns stay ~constant; topoΔ does not grow with n.");
+}

@@ -1,0 +1,104 @@
+//! Driving a [`DexNetwork`] with an [`Adversary`].
+
+use crate::{Action, Adversary, View};
+use dex_core::DexNetwork;
+use dex_sim::StepMetrics;
+
+/// Let the adversary observe the full network state and strike once;
+/// returns the action taken and the step's metered recovery cost.
+pub fn step(dex: &mut DexNetwork, adv: &mut dyn Adversary) -> (Action, StepMetrics) {
+    let action = {
+        let load = |u| dex.map.load(u);
+        let owner = |z| dex.map.owner(z);
+        let view = View {
+            graph: dex.graph(),
+            load: &load,
+            owner: &owner,
+            p: dex.cycle.p(),
+        };
+        adv.next(&view)
+    };
+    let metrics = match action {
+        Action::Insert { id, attach } => dex.insert(id, attach),
+        Action::Delete { victim } => dex.delete(victim),
+    };
+    (action, metrics)
+}
+
+/// Run `steps` adversarial steps; returns the recorded actions (a trace
+/// that [`crate::ReplayTrace`] can replay bit-identically).
+pub fn run(dex: &mut DexNetwork, adv: &mut dyn Adversary, steps: usize) -> Vec<Action> {
+    let mut actions = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let (a, _) = step(dex, adv);
+        actions.push(a);
+    }
+    actions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CoordinatorHunter, CutAttacker, HighLoadHunter, OscillatingSize, RandomChurn, ReplayTrace};
+    use dex_core::{invariants, DexConfig};
+
+    fn fresh(seed: u64) -> DexNetwork {
+        DexNetwork::bootstrap(DexConfig::new(seed).simplified(), 16)
+    }
+
+    #[test]
+    fn all_adversaries_preserve_invariants() {
+        let advs: Vec<Box<dyn Adversary>> = vec![
+            Box::new(RandomChurn::new(1, 0.5)),
+            Box::new(HighLoadHunter::new(2)),
+            Box::new(CoordinatorHunter::new(3)),
+            Box::new(CutAttacker::new(4)),
+            Box::new(OscillatingSize::new(5, 8, 40)),
+        ];
+        for mut adv in advs {
+            let mut dex = fresh(9);
+            for s in 0..120 {
+                step(&mut dex, adv.as_mut());
+                if let Err(e) = invariants::check(&dex) {
+                    panic!("{} step {s}: {e}", adv.name());
+                }
+            }
+            assert!(
+                dex.spectral_gap() > 0.005,
+                "{} degraded the gap",
+                adv.name()
+            );
+        }
+    }
+
+    #[test]
+    fn staggered_mode_survives_coordinator_hunting() {
+        let mut dex = DexNetwork::bootstrap(DexConfig::new(6).staggered(), 16);
+        let mut adv = CoordinatorHunter::new(7);
+        for s in 0..200 {
+            step(&mut dex, &mut adv);
+            if let Err(e) = invariants::check(&dex) {
+                panic!("step {s}: {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_replay_reproduces_topology() {
+        let mut dex1 = fresh(11);
+        let mut adv = RandomChurn::new(12, 0.6);
+        let actions = run(&mut dex1, &mut adv, 100);
+
+        let text = crate::trace::to_string(&actions);
+        let parsed = crate::trace::parse(&text).unwrap();
+        let mut dex2 = fresh(11);
+        let mut replay = ReplayTrace::new(parsed);
+        run(&mut dex2, &mut replay, 100);
+
+        let mut e1 = dex1.graph().edges();
+        let mut e2 = dex2.graph().edges();
+        e1.sort();
+        e2.sort();
+        assert_eq!(e1, e2);
+    }
+}

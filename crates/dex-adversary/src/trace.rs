@@ -1,0 +1,104 @@
+//! Plain-text churn traces: record and replay adversarial action
+//! sequences.
+//!
+//! Format, one action per line:
+//! ```text
+//! I <id> <attach>
+//! D <victim>
+//! ```
+//! Hand-rolled (no serialization-format crate in the approved dependency
+//! set); round-trips exactly.
+
+use crate::Action;
+use dex_graph::ids::NodeId;
+
+/// Serialize actions to the line format.
+pub fn to_string(actions: &[Action]) -> String {
+    let mut out = String::with_capacity(actions.len() * 12);
+    for a in actions {
+        match a {
+            Action::Insert { id, attach } => {
+                out.push_str(&format!("I {} {}\n", id.0, attach.0));
+            }
+            Action::Delete { victim } => {
+                out.push_str(&format!("D {}\n", victim.0));
+            }
+        }
+    }
+    out
+}
+
+/// Parse the line format. Returns a descriptive error on malformed input.
+pub fn parse(s: &str) -> Result<Vec<Action>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in s.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().ok_or_else(|| format!("line {lineno}: empty"))?;
+        let parse_u64 = |p: Option<&str>| -> Result<u64, String> {
+            p.ok_or_else(|| format!("line {lineno}: missing field"))?
+                .parse::<u64>()
+                .map_err(|e| format!("line {lineno}: {e}"))
+        };
+        match tag {
+            "I" => {
+                let id = parse_u64(parts.next())?;
+                let attach = parse_u64(parts.next())?;
+                out.push(Action::Insert {
+                    id: NodeId(id),
+                    attach: NodeId(attach),
+                });
+            }
+            "D" => {
+                let victim = parse_u64(parts.next())?;
+                out.push(Action::Delete {
+                    victim: NodeId(victim),
+                });
+            }
+            other => return Err(format!("line {lineno}: unknown tag {other:?}")),
+        }
+        if parts.next().is_some() {
+            return Err(format!("line {lineno}: trailing fields"));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let actions = vec![
+            Action::Insert {
+                id: NodeId(100),
+                attach: NodeId(3),
+            },
+            Action::Delete { victim: NodeId(7) },
+            Action::Insert {
+                id: NodeId(101),
+                attach: NodeId(100),
+            },
+        ];
+        let s = to_string(&actions);
+        assert_eq!(parse(&s).unwrap(), actions);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let s = "# a comment\n\nI 1 2\n   \nD 1\n";
+        assert_eq!(parse(s).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(parse("X 1 2").is_err());
+        assert!(parse("I 1").is_err());
+        assert!(parse("D foo").is_err());
+        assert!(parse("I 1 2 3").is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! Law–Siu \[18\]: distributed construction of random expander networks
+//! as a union of `k` Hamiltonian cycles (degree `2k`).
+//!
+//! * **Join**: for every cycle, sample a (approximately) random edge by a
+//!   Θ(log n) random walk and splice the newcomer into it —
+//!   O(d·log n) messages, O(d) topology changes, matching the Table-1 row.
+//! * **Leave**: each cycle stitches the victim's predecessor to its
+//!   successor — O(d) changes.
+//!
+//! The expansion guarantee is probabilistic (union of *random* Hamiltonian
+//! cycles): it holds w.h.p. after construction, but an adaptive adversary
+//! can correlate the cycles over time (it sees them!), which is exactly
+//! the degradation the DEX paper criticizes (experiment E8 measures it).
+
+use crate::{bit_len, metered_walk, Overlay};
+use dex_graph::adjacency::MultiGraph;
+use dex_graph::fxhash::FxHashMap;
+use dex_graph::ids::NodeId;
+use dex_sim::{Network, RecoveryKind, StepKind, StepMetrics};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Law–Siu overlay state.
+pub struct LawSiu {
+    net: Network,
+    /// Successor maps, one per Hamiltonian cycle.
+    succ: Vec<FxHashMap<NodeId, NodeId>>,
+    /// Predecessor maps, one per cycle.
+    pred: Vec<FxHashMap<NodeId, NodeId>>,
+    rng: StdRng,
+}
+
+impl LawSiu {
+    /// Bootstrap with `n0` nodes (ids `0..n0`) and `k` random Hamiltonian
+    /// cycles (degree `2k`).
+    pub fn bootstrap(seed: u64, n0: u64, k: usize) -> Self {
+        assert!(n0 >= 4 && k >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Network::new();
+        for i in 0..n0 {
+            net.adversary_add_node(NodeId(i));
+        }
+        let mut succ = Vec::with_capacity(k);
+        let mut pred = Vec::with_capacity(k);
+        let mut perm: Vec<u64> = (0..n0).collect();
+        for _ in 0..k {
+            perm.shuffle(&mut rng);
+            let mut s = FxHashMap::default();
+            let mut p = FxHashMap::default();
+            for i in 0..n0 as usize {
+                let a = NodeId(perm[i]);
+                let b = NodeId(perm[(i + 1) % n0 as usize]);
+                s.insert(a, b);
+                p.insert(b, a);
+                net.adversary_add_edge(a, b);
+            }
+            succ.push(s);
+            pred.push(p);
+        }
+        LawSiu {
+            net,
+            succ,
+            pred,
+            rng,
+        }
+    }
+
+    /// Number of Hamiltonian cycles.
+    pub fn cycles(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Internal consistency: every cycle is a single Hamiltonian cycle
+    /// over the node set and the physical graph is the union.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.net.graph().num_nodes();
+        for (c, succ) in self.succ.iter().enumerate() {
+            if succ.len() != n {
+                return Err(format!("cycle {c}: {} entries, n={n}", succ.len()));
+            }
+            let start = *succ.keys().next().expect("nonempty");
+            let mut cur = start;
+            for _ in 0..n {
+                cur = succ[&cur];
+            }
+            if cur != start {
+                return Err(format!("cycle {c} is not closed after n steps"));
+            }
+            let mut seen = std::collections::HashSet::new();
+            let mut cur = start;
+            for _ in 0..n {
+                if !seen.insert(cur) {
+                    return Err(format!("cycle {c} revisits {cur}"));
+                }
+                cur = succ[&cur];
+            }
+        }
+        self.net.graph().validate()
+    }
+}
+
+impl Overlay for LawSiu {
+    fn name(&self) -> &'static str {
+        "law-siu"
+    }
+
+    fn graph(&self) -> &MultiGraph {
+        self.net.graph()
+    }
+
+    fn network(&self) -> &Network {
+        &self.net
+    }
+
+    fn insert(&mut self, id: NodeId, attach: NodeId) -> StepMetrics {
+        assert!(!self.net.graph().has_node(id));
+        self.net.begin_step();
+        self.net.adversary_add_node(id);
+        self.net.adversary_add_edge(id, attach);
+        let walk_len = bit_len(self.net.graph().num_nodes() as u64);
+        for c in 0..self.succ.len() {
+            // Sample a random edge (a, succ(a)) via a random walk.
+            let mut a = metered_walk(&mut self.net, attach, walk_len, &mut self.rng);
+            if a == id {
+                a = attach;
+            }
+            let b = self.succ[c][&a];
+            // Splice: a -> id -> b.
+            self.net.remove_edge(a, b);
+            self.net.add_edge(a, id);
+            self.net.add_edge(id, b);
+            self.succ[c].insert(a, id);
+            self.succ[c].insert(id, b);
+            self.pred[c].insert(b, id);
+            self.pred[c].insert(id, a);
+            self.net.charge_messages(3);
+            self.net.charge_rounds(1);
+        }
+        self.net.remove_edge(id, attach);
+        self.net.end_step(StepKind::Insert, RecoveryKind::Type1)
+    }
+
+    fn delete(&mut self, victim: NodeId) -> StepMetrics {
+        assert!(self.net.graph().has_node(victim));
+        assert!(self.net.graph().num_nodes() > 4);
+        self.net.begin_step();
+        self.net.adversary_remove_node(victim);
+        for c in 0..self.succ.len() {
+            let a = self.pred[c].remove(&victim).expect("pred tracked");
+            let b = self.succ[c].remove(&victim).expect("succ tracked");
+            self.pred[c].remove(&victim);
+            self.succ[c].insert(a, b);
+            self.pred[c].insert(b, a);
+            self.net.add_edge(a, b);
+            self.net.charge_messages(2);
+            self.net.charge_rounds(1);
+        }
+        self.net.end_step(StepKind::Delete, RecoveryKind::Type1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn bootstrap_is_2k_regular_expander() {
+        let ls = LawSiu::bootstrap(1, 64, 3);
+        ls.validate().unwrap();
+        assert!(ls.graph().nodes().all(|u| ls.graph().degree(u) == 6));
+        assert!(ls.spectral_gap() > 0.1);
+    }
+
+    #[test]
+    fn churn_preserves_cycle_structure() {
+        let mut ls = LawSiu::bootstrap(2, 16, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut next = 1000u64;
+        for _ in 0..200 {
+            let ids = ls.node_ids();
+            if rng.random_bool(0.5) || ids.len() <= 6 {
+                ls.insert(NodeId(next), ids[rng.random_range(0..ids.len())]);
+                next += 1;
+            } else {
+                ls.delete(ids[rng.random_range(0..ids.len())]);
+            }
+            ls.validate().unwrap();
+            // Degree is always exactly 2k.
+            assert!(ls.graph().nodes().all(|u| ls.graph().degree(u) == 4));
+        }
+        assert!(ls.spectral_gap() > 0.02);
+    }
+
+    #[test]
+    fn join_cost_is_d_log_n() {
+        let mut ls = LawSiu::bootstrap(4, 256, 3);
+        let m = ls.insert(NodeId(9999), NodeId(0));
+        // 3 cycles × ⌈log₂ n⌉ walk hops + O(1) per cycle.
+        assert!(m.messages < 100, "join messages {}", m.messages);
+        assert!(m.topology_changes <= 10);
+    }
+}

@@ -1,0 +1,129 @@
+//! Baseline overlay-maintenance algorithms for the Table-1 comparison.
+//!
+//! Four comparators, all metered through the same [`dex_sim::Network`]
+//! substrate as DEX so that rounds / messages / topology changes are
+//! directly comparable:
+//!
+//! * [`law_siu::LawSiu`] — Law & Siu \[18\]: the overlay is a union of
+//!   `d/2` Hamiltonian cycles; joins splice a random edge of every cycle,
+//!   leaves stitch the cycles back together. Probabilistic expansion.
+//! * [`skip_lite::SkipLite`] — a simplified skip graph \[2\]: random
+//!   membership words, one sorted ring per (level, prefix) group.
+//!   O(log n) degree, O(log² n) messages per join — the Table-1 skip-graph
+//!   row (and a stand-in for SKIP+'s asymptotic family).
+//! * [`flooding::Flooding`] — the Sect.-3 strawman: every change floods
+//!   the network and all nodes recompute a fresh random regular graph
+//!   (guaranteed expansion, Θ(n) messages and topology churn).
+//! * [`naive_patch::NaivePatch`] — connect-the-neighbors healing with no
+//!   balance machinery: what ad-hoc overlays do, and how expansion and
+//!   degree bounds decay without DEX's invariants.
+//!
+//! The [`Overlay`] trait unifies them (DEX implements it too), so the
+//! harness can run the same adversarial schedule against every system.
+
+pub mod flooding;
+pub mod law_siu;
+pub mod naive_patch;
+pub mod skip_lite;
+
+use dex_graph::adjacency::MultiGraph;
+use dex_graph::ids::NodeId;
+use dex_sim::{Network, StepMetrics};
+
+/// A dynamic overlay-maintenance algorithm under churn.
+pub trait Overlay {
+    /// Display name (Table-1 row label).
+    fn name(&self) -> &'static str;
+    /// Current physical topology.
+    fn graph(&self) -> &MultiGraph;
+    /// The metered substrate (step history).
+    fn network(&self) -> &Network;
+    /// Adversary inserts `id` attached to `attach`; heal and meter.
+    fn insert(&mut self, id: NodeId, attach: NodeId) -> StepMetrics;
+    /// Adversary deletes `victim`; heal and meter.
+    fn delete(&mut self, victim: NodeId) -> StepMetrics;
+
+    /// Network size.
+    fn n(&self) -> usize {
+        self.graph().num_nodes()
+    }
+    /// Node ids, ascending.
+    fn node_ids(&self) -> Vec<NodeId> {
+        self.graph().nodes_sorted()
+    }
+    /// Maximum degree.
+    fn max_degree(&self) -> usize {
+        self.graph().max_degree()
+    }
+    /// Spectral gap of the current topology.
+    fn spectral_gap(&self) -> f64 {
+        dex_graph::spectral::spectral_gap(self.graph())
+    }
+}
+
+impl Overlay for dex_core::DexNetwork {
+    fn name(&self) -> &'static str {
+        "dex"
+    }
+
+    fn graph(&self) -> &MultiGraph {
+        dex_core::DexNetwork::graph(self)
+    }
+
+    fn network(&self) -> &Network {
+        &self.net
+    }
+
+    fn insert(&mut self, id: NodeId, attach: NodeId) -> StepMetrics {
+        dex_core::DexNetwork::insert(self, id, attach)
+    }
+
+    fn delete(&mut self, victim: NodeId) -> StepMetrics {
+        dex_core::DexNetwork::delete(self, victim)
+    }
+}
+
+/// Shared helper: a metered random walk of exactly `len` hops returning
+/// the endpoint (baselines use walks to sample approximately uniform
+/// nodes, as Law–Siu and Gkantsidis et al. do).
+pub(crate) fn metered_walk(
+    net: &mut Network,
+    start: NodeId,
+    len: u64,
+    rng: &mut impl rand::Rng,
+) -> NodeId {
+    let mut cur = start;
+    for _ in 0..len {
+        let nbrs = net.graph().neighbors(cur);
+        if nbrs.is_empty() {
+            break;
+        }
+        cur = nbrs[rng.random_range(0..nbrs.len())];
+        net.charge_rounds(1);
+        net.charge_messages(1);
+    }
+    cur
+}
+
+/// ⌈log₂ x⌉-ish bit length used for walk budgets.
+pub(crate) fn bit_len(x: u64) -> u64 {
+    (64 - x.max(2).leading_zeros() as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_core::{DexConfig, DexNetwork};
+
+    #[test]
+    fn dex_implements_overlay() {
+        let mut dex = DexNetwork::bootstrap(DexConfig::new(1).simplified(), 8);
+        let o: &mut dyn Overlay = &mut dex;
+        assert_eq!(o.name(), "dex");
+        assert_eq!(o.n(), 8);
+        let ids = o.node_ids();
+        let m = o.insert(NodeId(99_999), ids[0]);
+        assert!(m.rounds > 0);
+        assert!(o.spectral_gap() > 0.01);
+    }
+}

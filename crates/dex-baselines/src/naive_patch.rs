@@ -1,0 +1,151 @@
+//! Naive neighbor-patching: what an overlay without any balance or
+//! expansion machinery does.
+//!
+//! * **Join**: attach to the given node plus two walk-sampled nodes.
+//! * **Leave**: the victim's former neighbors stitch themselves into a
+//!   ring.
+//!
+//! Connectivity survives, but nothing controls degree or expansion: under
+//! an adaptive attack (or even long random churn) degrees creep up and
+//! the spectral gap decays — the motivating failure mode in the paper's
+//! introduction, measured in experiment E8.
+
+use crate::{bit_len, metered_walk, Overlay};
+use dex_graph::adjacency::MultiGraph;
+use dex_graph::ids::NodeId;
+use dex_sim::{Network, RecoveryKind, StepKind, StepMetrics};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Naive patch overlay.
+pub struct NaivePatch {
+    net: Network,
+    rng: StdRng,
+}
+
+impl NaivePatch {
+    /// Bootstrap as a ring of `n0` nodes with chords (ids `0..n0`).
+    pub fn bootstrap(seed: u64, n0: u64) -> Self {
+        assert!(n0 >= 4);
+        let mut net = Network::new();
+        for i in 0..n0 {
+            net.adversary_add_node(NodeId(i));
+        }
+        for i in 0..n0 {
+            net.adversary_add_edge(NodeId(i), NodeId((i + 1) % n0));
+            net.adversary_add_edge(NodeId(i), NodeId((i + n0 / 2) % n0));
+        }
+        NaivePatch {
+            net,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Overlay for NaivePatch {
+    fn name(&self) -> &'static str {
+        "naive-patch"
+    }
+
+    fn graph(&self) -> &MultiGraph {
+        self.net.graph()
+    }
+
+    fn network(&self) -> &Network {
+        &self.net
+    }
+
+    fn insert(&mut self, id: NodeId, attach: NodeId) -> StepMetrics {
+        self.net.begin_step();
+        self.net.adversary_add_node(id);
+        self.net.adversary_add_edge(id, attach);
+        let walk_len = bit_len(self.net.graph().num_nodes() as u64);
+        for _ in 0..2 {
+            let w = metered_walk(&mut self.net, attach, walk_len, &mut self.rng);
+            if w != id {
+                self.net.add_edge(id, w);
+            }
+        }
+        self.net.end_step(StepKind::Insert, RecoveryKind::Type1)
+    }
+
+    fn delete(&mut self, victim: NodeId) -> StepMetrics {
+        let mut nbrs: Vec<NodeId> = self
+            .net
+            .graph()
+            .neighbors(victim)
+            .iter()
+            .copied()
+            .filter(|&w| w != victim)
+            .collect();
+        nbrs.sort_unstable();
+        nbrs.dedup();
+        self.net.begin_step();
+        self.net.adversary_remove_node(victim);
+        // Stitch former neighbors into a ring.
+        if nbrs.len() >= 2 {
+            for i in 0..nbrs.len() {
+                let a = nbrs[i];
+                let b = nbrs[(i + 1) % nbrs.len()];
+                if i + 1 == nbrs.len() && nbrs.len() == 2 {
+                    break; // two neighbors need one stitch, not two
+                }
+                if !self.net.graph().contains_edge(a, b) {
+                    self.net.add_edge(a, b);
+                }
+            }
+        }
+        self.net.end_step(StepKind::Delete, RecoveryKind::Type1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn stays_connected_under_churn() {
+        let mut np = NaivePatch::bootstrap(1, 16);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut next = 1000u64;
+        for _ in 0..200 {
+            let ids = np.node_ids();
+            if rng.random_bool(0.5) || ids.len() <= 6 {
+                np.insert(NodeId(next), ids[rng.random_range(0..ids.len())]);
+                next += 1;
+            } else {
+                np.delete(ids[rng.random_range(0..ids.len())]);
+            }
+            assert!(dex_graph::connectivity::is_connected(np.graph()));
+        }
+    }
+
+    #[test]
+    fn degree_is_unbounded_under_targeted_churn() {
+        // Repeatedly deleting neighbors of a hub pumps its degree — the
+        // failure DEX's 4ζ bound rules out.
+        let mut np = NaivePatch::bootstrap(3, 32);
+        let _rng = StdRng::seed_from_u64(4);
+        let mut next = 5000u64;
+        let mut worst = 0;
+        for _ in 0..150 {
+            let ids = np.node_ids();
+            // adaptive: delete a max-degree node's neighbor
+            let hub = ids
+                .iter()
+                .copied()
+                .max_by_key(|&u| np.graph().degree(u))
+                .unwrap();
+            let victim = np.graph().neighbors(hub)[0];
+            if ids.len() > 8 && victim != hub {
+                np.delete(victim);
+            } else {
+                np.insert(NodeId(next), hub);
+                next += 1;
+            }
+            worst = worst.max(np.max_degree());
+        }
+        assert!(worst > 12, "expected degree creep, max was {worst}");
+    }
+}

@@ -1,0 +1,299 @@
+//! A simplified skip graph \[2, 15\]: the Table-1 "skip graphs" row.
+//!
+//! Each node draws a random membership word; level `i` partitions nodes by
+//! the low `i` bits of the word, and every (level, prefix) group forms a
+//! ring sorted by node id. Degree is Θ(log n) (one ring membership per
+//! level until the group becomes a singleton), joins cost O(log² n)
+//! messages (a search per level) and O(log n) topology changes — the
+//! qualitative skip-graph/SKIP+ costs from Table 1. Expansion holds
+//! w.h.p. (skip graphs contain expanders, Aspnes–Wieder), but only
+//! probabilistically and with logarithmic degree — DEX's two advantages.
+
+use crate::{bit_len, Overlay};
+use dex_graph::adjacency::MultiGraph;
+use dex_graph::fxhash::FxHashMap;
+use dex_graph::ids::NodeId;
+use dex_sim::{Network, RecoveryKind, StepKind, StepMetrics};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Hard cap on levels (beyond ~log₂ n the groups are singletons anyway).
+const MAX_LEVELS: u8 = 24;
+
+/// Simplified skip graph overlay.
+pub struct SkipLite {
+    net: Network,
+    words: FxHashMap<NodeId, u64>,
+    /// Ring members per (level, prefix).
+    rings: FxHashMap<(u8, u64), BTreeSet<NodeId>>,
+    rng: StdRng,
+}
+
+fn prefix(word: u64, level: u8) -> u64 {
+    if level == 0 {
+        0
+    } else {
+        word & ((1u64 << level) - 1)
+    }
+}
+
+/// Ring neighbors of `u` in a sorted set (wraparound), excluding `u`.
+fn ring_neighbors(set: &BTreeSet<NodeId>, u: NodeId) -> Option<(NodeId, NodeId)> {
+    if set.len() < 2 {
+        return None;
+    }
+    let succ = set
+        .range((std::ops::Bound::Excluded(u), std::ops::Bound::Unbounded))
+        .next()
+        .or_else(|| set.iter().next())
+        .copied()
+        .expect("nonempty");
+    let pred = set
+        .range(..u)
+        .next_back()
+        .or_else(|| set.iter().next_back())
+        .copied()
+        .expect("nonempty");
+    Some((pred, succ))
+}
+
+impl SkipLite {
+    /// Bootstrap with `n0` nodes (ids `0..n0`).
+    pub fn bootstrap(seed: u64, n0: u64) -> Self {
+        let mut s = SkipLite {
+            net: Network::new(),
+            words: FxHashMap::default(),
+            rings: FxHashMap::default(),
+            rng: StdRng::seed_from_u64(seed),
+        };
+        // Build incrementally but without charging (bootstrap).
+        for i in 0..n0 {
+            let u = NodeId(i);
+            s.net.adversary_add_node(u);
+            let word = s.rng.random::<u64>();
+            s.words.insert(u, word);
+            for level in 0..MAX_LEVELS {
+                s.link_into_ring(level, u, false);
+                if s.rings[&(level, prefix(word, level))].len() == 1 {
+                    break;
+                }
+            }
+        }
+        s
+    }
+
+    /// Insert `u` into its (level, prefix) ring, updating physical edges.
+    /// Returns the number of topology changes made.
+    fn link_into_ring(&mut self, level: u8, u: NodeId, charged: bool) -> u64 {
+        let word = self.words[&u];
+        let key = (level, prefix(word, level));
+        let set = self.rings.entry(key).or_default();
+        let before = set.len();
+        set.insert(u);
+        let set = &self.rings[&key];
+        let mut changes = 0;
+        match before {
+            0 => {}
+            1 => {
+                let other = *set.iter().find(|&&w| w != u).expect("one other");
+                add_edge(&mut self.net, other, u, charged);
+                changes += 1;
+            }
+            _ => {
+                let (pred, succ) = ring_neighbors(set, u).expect("size >= 3");
+                if before >= 3 {
+                    // pred-succ were adjacent; that ring edge splits.
+                    remove_edge(&mut self.net, pred, succ, charged);
+                    changes += 1;
+                }
+                add_edge(&mut self.net, pred, u, charged);
+                add_edge(&mut self.net, u, succ, charged);
+                changes += 2;
+            }
+        }
+        changes
+    }
+
+    /// Remove `u` from its ring at `level` after the adversary already
+    /// destroyed its physical edges; stitch the ring.
+    fn unlink_from_ring(&mut self, level: u8, u: NodeId, word: u64) {
+        let key = (level, prefix(word, level));
+        let Some(set) = self.rings.get_mut(&key) else {
+            return;
+        };
+        if !set.contains(&u) {
+            return;
+        }
+        let nbrs = ring_neighbors(set, u);
+        set.remove(&u);
+        let after = set.len();
+        if set.is_empty() {
+            self.rings.remove(&key);
+            return;
+        }
+        if let Some((pred, succ)) = nbrs {
+            // With ≥ 3 survivors pred and succ were not adjacent: stitch.
+            // With exactly 2 survivors the far edge already closes the
+            // ring; with 1 survivor there is nothing to do.
+            if after >= 3 && pred != u && succ != u {
+                self.net.add_edge(pred, succ);
+            } else if after == 2 {
+                // Ring of 2 keeps exactly one edge; it survived iff it did
+                // not pass through u — if both survivors were only linked
+                // via u, relink them.
+                let mut it = set.iter();
+                let a = *it.next().expect("two");
+                let b = *it.next().expect("two");
+                if !self.net.graph().contains_edge(a, b) {
+                    self.net.add_edge(a, b);
+                }
+            }
+        }
+    }
+
+    /// Levels where `u` participates (until its group is a singleton).
+    pub fn levels_of(&self, u: NodeId) -> Vec<u8> {
+        let word = self.words[&u];
+        let mut out = Vec::new();
+        for level in 0..MAX_LEVELS {
+            let key = (level, prefix(word, level));
+            match self.rings.get(&key) {
+                Some(set) if set.contains(&u) => out.push(level),
+                _ => break,
+            }
+        }
+        out
+    }
+}
+
+fn add_edge(net: &mut Network, a: NodeId, b: NodeId, charged: bool) {
+    if charged {
+        net.add_edge(a, b);
+    } else {
+        net.adversary_add_edge(a, b);
+    }
+}
+
+fn remove_edge(net: &mut Network, a: NodeId, b: NodeId, charged: bool) {
+    if charged {
+        assert!(net.remove_edge(a, b), "ring edge {a}-{b} missing");
+    } else {
+        assert!(net.adversary_remove_edge(a, b), "ring edge {a}-{b} missing");
+    }
+}
+
+impl Overlay for SkipLite {
+    fn name(&self) -> &'static str {
+        "skip-lite"
+    }
+
+    fn graph(&self) -> &MultiGraph {
+        self.net.graph()
+    }
+
+    fn network(&self) -> &Network {
+        &self.net
+    }
+
+    fn insert(&mut self, id: NodeId, attach: NodeId) -> StepMetrics {
+        assert!(!self.net.graph().has_node(id));
+        let _ = attach;
+        self.net.begin_step();
+        self.net.adversary_add_node(id);
+        let word = self.rng.random::<u64>();
+        self.words.insert(id, word);
+        let n = self.net.graph().num_nodes() as u64;
+        for level in 0..MAX_LEVELS {
+            // A search per level to locate the ring position: O(log n).
+            self.net.charge_messages(2 * bit_len(n));
+            self.net.charge_rounds(2);
+            self.link_into_ring(level, id, true);
+            if self.rings[&(level, prefix(word, level))].len() == 1 {
+                break;
+            }
+        }
+        self.net.end_step(StepKind::Insert, RecoveryKind::Type1)
+    }
+
+    fn delete(&mut self, victim: NodeId) -> StepMetrics {
+        assert!(self.net.graph().has_node(victim));
+        self.net.begin_step();
+        let word = self.words.remove(&victim).expect("member");
+        let levels = {
+            let mut out = Vec::new();
+            for level in 0..MAX_LEVELS {
+                let key = (level, prefix(word, level));
+                if self.rings.get(&key).is_some_and(|s| s.contains(&victim)) {
+                    out.push(level);
+                } else {
+                    break;
+                }
+            }
+            out
+        };
+        self.net.adversary_remove_node(victim);
+        for level in levels {
+            self.unlink_from_ring(level, victim, word);
+            self.net.charge_messages(2);
+            self.net.charge_rounds(1);
+        }
+        self.net.end_step(StepKind::Delete, RecoveryKind::Type1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_is_connected_with_log_degree() {
+        let s = SkipLite::bootstrap(1, 128);
+        assert!(dex_graph::connectivity::is_connected(s.graph()));
+        let max_deg = s.max_degree();
+        // Θ(log n): 2 edges per level, ~7-ish levels + slack.
+        assert!((4..=40).contains(&max_deg), "degree {max_deg}");
+        assert!(s.spectral_gap() > 0.02, "gap {}", s.spectral_gap());
+    }
+
+    #[test]
+    fn churn_keeps_structure() {
+        let mut s = SkipLite::bootstrap(2, 32);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut next = 1000u64;
+        for _ in 0..200 {
+            let ids = s.node_ids();
+            if rng.random_bool(0.5) || ids.len() <= 8 {
+                s.insert(NodeId(next), ids[0]);
+                next += 1;
+            } else {
+                s.delete(ids[rng.random_range(0..ids.len())]);
+            }
+            assert!(
+                dex_graph::connectivity::is_connected(s.graph()),
+                "disconnected after churn"
+            );
+            s.graph().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn degree_grows_logarithmically() {
+        let mut degs = Vec::new();
+        for n0 in [32u64, 256] {
+            let s = SkipLite::bootstrap(3, n0);
+            degs.push(s.max_degree());
+        }
+        // 8× nodes → degree grows, but far less than 8×.
+        assert!(degs[1] > degs[0] / 2);
+        assert!(degs[1] < degs[0] * 4);
+    }
+
+    #[test]
+    fn levels_of_reports_membership() {
+        let s = SkipLite::bootstrap(4, 64);
+        let levels = s.levels_of(NodeId(0));
+        assert!(!levels.is_empty());
+        assert_eq!(levels[0], 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Batch churn: multiple insertions or deletions per step
+//! (paper, Sect. 5 and Corollary 2).
+//!
+//! The adversary may insert or delete up to εn nodes at once, subject to
+//! the paper's conditions: each inserted node attaches to an existing
+//! node with only O(1) newcomers per attach point; deletions leave the
+//! remainder connected with at least one surviving neighbor per victim.
+//! Recovery may lean on the simplified type-2 procedures every O(1) steps,
+//! for O(n log² n) messages and O(log³ n) rounds per batch.
+//!
+//! Implementation: the batch shares one step scope; each newcomer/victim
+//! is healed with the type-1 machinery, falling back to the one-shot
+//! type-2 procedures when spare capacity is exhausted mid-batch.
+
+use crate::config::RecoveryMode;
+use crate::dex::DexNetwork;
+use dex_graph::ids::NodeId;
+use dex_sim::{RecoveryKind, StepKind, StepMetrics};
+
+impl DexNetwork {
+    /// Insert a batch of `(new_node, attach_to)` pairs in one adversarial
+    /// step. Requires simplified mode (the staggered machinery assumes one
+    /// event per step, as in the paper).
+    ///
+    /// # Panics
+    /// Panics on duplicate ids, missing attach points, or more than O(1)
+    /// newcomers per attach point (the paper's congestion condition).
+    pub fn insert_batch(&mut self, joins: &[(NodeId, NodeId)]) -> StepMetrics {
+        assert_eq!(
+            self.cfg.mode,
+            RecoveryMode::Simplified,
+            "batch mode requires simplified type-2 (Sect. 5)"
+        );
+        assert!(!joins.is_empty());
+        // O(1) attach fan-in (the paper's anti-congestion requirement).
+        for (_, v) in joins {
+            let fan = joins.iter().filter(|(_, w)| w == v).count();
+            assert!(fan <= 8, "attach fan-in {fan} at {v} violates O(1) bound");
+        }
+        self.step_no += 1;
+        self.net.begin_step();
+        let mut used_type2 = false;
+        for &(u, v) in joins {
+            assert!(self.net.graph().has_node(v), "attach point {v} missing");
+            self.net.adversary_add_node(u);
+            self.net.adversary_add_edge(u, v);
+            used_type2 |= self.heal_one_insert(u, v);
+        }
+        self.net.end_step(
+            StepKind::BatchInsert(joins.len() as u32),
+            if used_type2 {
+                RecoveryKind::InflateSimple
+            } else {
+                RecoveryKind::Type1
+            },
+        )
+    }
+
+    /// Delete a batch of victims in one adversarial step. The remainder
+    /// graph must stay connected (checked after healing, which restores
+    /// the contraction fabric and hence connectivity).
+    pub fn delete_batch(&mut self, victims: &[NodeId]) -> StepMetrics {
+        assert_eq!(self.cfg.mode, RecoveryMode::Simplified);
+        assert!(!victims.is_empty());
+        assert!(
+            victims.len() < self.n() - 1,
+            "batch would empty the network"
+        );
+        self.step_no += 1;
+        self.net.begin_step();
+        let mut used_type2 = false;
+        for &victim in victims {
+            assert!(self.net.graph().has_node(victim), "victim {victim} missing");
+            // Every victim must keep one surviving neighbor (paper's
+            // condition); because healing runs victim-by-victim, the
+            // previous victims' vertices have already been rehomed.
+            let mut nbrs: Vec<NodeId> = self
+                .net
+                .graph()
+                .neighbors(victim)
+                .iter()
+                .copied()
+                .filter(|&w| w != victim)
+                .collect();
+            nbrs.sort_unstable();
+            nbrs.dedup();
+            assert!(!nbrs.is_empty(), "victim {victim} lost all neighbors");
+            let rescuer = nbrs[0];
+            self.net.adversary_remove_node(victim);
+            used_type2 |= self.heal_one_delete(victim, rescuer);
+        }
+        self.net.end_step(
+            StepKind::BatchDelete(victims.len() as u32),
+            if used_type2 {
+                RecoveryKind::DeflateSimple
+            } else {
+                RecoveryKind::Type1
+            },
+        )
+    }
+
+    /// Type-1 insert healing inside an open step; returns whether type-2
+    /// was needed.
+    fn heal_one_insert(&mut self, u: NodeId, v: NodeId) -> bool {
+        use dex_sim::rng::Purpose;
+        use dex_sim::tokens::random_walk_search;
+        let walk_len = self.cfg.walk_len(self.cycle.p());
+        for attempt in 0..self.cfg.max_walk_retries {
+            self.walk_stats.attempts += 1;
+            let map = &self.map;
+            let mut rng = self
+                .seeds
+                .stream(Purpose::InsertWalk, &[self.step_no, u.0, attempt]);
+            let out = random_walk_search(
+                &mut self.net,
+                v,
+                walk_len,
+                Some(u),
+                |w| map.is_spare(w),
+                &mut rng,
+            );
+            if let Some(w) = out.hit {
+                self.walk_stats.hits += 1;
+                self.give_vertex_to_new_node(w, u, v);
+                return false;
+            }
+            self.walk_stats.misses += 1;
+            let res = dex_sim::flood::flood_count(&mut self.net, v, |w| map.is_spare(w));
+            if !self.cfg.spare_sufficient(res.matching, res.n.saturating_sub(1)) {
+                self.walk_stats.type2 += 1;
+                crate::type2_simple::inflate(self, Some((u, v)));
+                return true;
+            }
+        }
+        panic!("batch insertion starved (n={})", self.n());
+    }
+
+    /// Type-1 delete healing inside an open step; returns whether type-2
+    /// was needed.
+    fn heal_one_delete(&mut self, victim: NodeId, rescuer: NodeId) -> bool {
+        use dex_sim::rng::Purpose;
+        use dex_sim::tokens::random_walk_search;
+        let zs: Vec<dex_graph::ids::VertexId> = self.map.sim(victim).to_vec();
+        crate::fabric::adopt_vertices(&mut self.net, &mut self.map, &self.cycle, &zs, rescuer);
+        self.net.charge_messages(3 * zs.len() as u64);
+        self.net.charge_rounds(1);
+        let walk_len = self.cfg.walk_len(self.cycle.p());
+        let mut used_type2 = false;
+        for (i, &z) in zs.iter().enumerate() {
+            let mut attempt = 0u64;
+            loop {
+                self.walk_stats.attempts += 1;
+                let map = &self.map;
+                let mut rng = self.seeds.stream(
+                    Purpose::DeleteWalk,
+                    &[self.step_no, victim.0, i as u64, attempt],
+                );
+                let out = random_walk_search(
+                    &mut self.net,
+                    rescuer,
+                    walk_len,
+                    None,
+                    |w| map.is_low(w),
+                    &mut rng,
+                );
+                if let Some(w) = out.hit {
+                    self.walk_stats.hits += 1;
+                    if w != rescuer {
+                        crate::fabric::move_vertices(
+                            &mut self.net,
+                            &mut self.map,
+                            &self.cycle,
+                            &[z],
+                            w,
+                        );
+                        self.net.charge_messages(4);
+                        self.net.charge_rounds(1);
+                    }
+                    break;
+                }
+                self.walk_stats.misses += 1;
+                let res =
+                    dex_sim::flood::flood_count(&mut self.net, rescuer, |w| map.is_low(w));
+                if !self.cfg.low_sufficient(res.matching, res.n) {
+                    self.walk_stats.type2 += 1;
+                    crate::type2_simple::deflate(self, rescuer);
+                    used_type2 = true;
+                    break; // this vertex was rehomed by the deflation
+                }
+                attempt += 1;
+                assert!(
+                    attempt < self.cfg.max_walk_retries,
+                    "batch deletion starved"
+                );
+            }
+            if used_type2 {
+                break; // remaining vertices were redistributed by deflate
+            }
+        }
+        used_type2
+    }
+}

@@ -1,0 +1,180 @@
+//! Algorithm parameters.
+//!
+//! The paper fixes ζ = 8 (max cloud size of the p-cycle construction) and
+//! requires θ ≤ 1/(68ζ + 1) = 1/545 for the proofs (Eq. 3). The θ constant
+//! is wildly pessimistic (it feeds Gillman's Chernoff bound with worst-case
+//! constants); experiments default to θ = 1/64, which preserves every
+//! qualitative claim while letting type-2 recovery actually fire at
+//! laptop-scale n. Every harness prints the θ it used; use
+//! [`DexConfig::paper_strict`] for the literal constants.
+
+/// Which type-2 implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// Algorithms 4.5/4.6: one-shot inflation/deflation. Amortized
+    /// O(log n) rounds / O(log² n) messages (Corollary 1).
+    Simplified,
+    /// Algorithms 4.7–4.9: coordinator + staggered inflation/deflation.
+    /// Worst-case O(log n) rounds and messages per step (Theorem 1).
+    Staggered,
+}
+
+/// DEX parameters. See module docs for the θ discussion.
+#[derive(Debug, Clone, Copy)]
+pub struct DexConfig {
+    /// Max cloud size ζ of the p-cycle construction (paper: ζ = 8).
+    pub zeta: u64,
+    /// Inverse of the rebuilding parameter θ (Eq. 3): θ = 1/theta_inv.
+    pub theta_inv: u64,
+    /// Walk length factor ℓ: type-1 walks run for ℓ·⌈log₂ p⌉ hops
+    /// (`p` is the current virtual-graph size — a locally known Θ(n)).
+    pub walk_len_factor: u64,
+    /// Safety cap on type-1 retry cycles; the paper retries until success
+    /// (succeeds w.h.p.); exceeding the cap indicates a bug and panics.
+    pub max_walk_retries: u64,
+    /// Type-2 implementation.
+    pub mode: RecoveryMode,
+    /// Master seed for all algorithm randomness.
+    pub seed: u64,
+}
+
+impl DexConfig {
+    /// Experiment defaults: ζ = 8, θ = 1/64, ℓ = 6, staggered type-2.
+    pub fn new(seed: u64) -> Self {
+        DexConfig {
+            zeta: 8,
+            theta_inv: 64,
+            walk_len_factor: 6,
+            max_walk_retries: 256,
+            mode: RecoveryMode::Staggered,
+            seed,
+        }
+    }
+
+    /// The paper's literal constants: θ = 1/(68ζ + 1) = 1/545.
+    pub fn paper_strict(seed: u64) -> Self {
+        DexConfig {
+            theta_inv: 545,
+            ..Self::new(seed)
+        }
+    }
+
+    /// Use the simplified (amortized) type-2 procedures.
+    pub fn simplified(mut self) -> Self {
+        self.mode = RecoveryMode::Simplified;
+        self
+    }
+
+    /// Use the staggered (worst-case) type-2 procedures.
+    pub fn staggered(mut self) -> Self {
+        self.mode = RecoveryMode::Staggered;
+        self
+    }
+
+    /// Override θ as 1/`theta_inv`.
+    pub fn with_theta_inv(mut self, theta_inv: u64) -> Self {
+        assert!(theta_inv >= 2);
+        self.theta_inv = theta_inv;
+        self
+    }
+
+    /// Override the walk-length factor ℓ.
+    pub fn with_walk_len_factor(mut self, f: u64) -> Self {
+        assert!(f >= 1);
+        self.walk_len_factor = f;
+        self
+    }
+
+    /// `Spare` membership: load ≥ 2 (Eq. 2).
+    #[inline]
+    pub fn is_spare_load(&self, load: u64) -> bool {
+        load >= 2
+    }
+
+    /// `Low` membership: load ≤ 2ζ (Eq. 1).
+    #[inline]
+    pub fn is_low_load(&self, load: u64) -> bool {
+        load <= 2 * self.zeta
+    }
+
+    /// Steady-state balance bound: 4ζ (Definition 3 with C = 4ζ).
+    #[inline]
+    pub fn max_load(&self) -> u64 {
+        4 * self.zeta
+    }
+
+    /// Transient bound during staggered type-2: 8ζ (Lemma 9(a)).
+    #[inline]
+    pub fn max_load_staggered(&self) -> u64 {
+        8 * self.zeta
+    }
+
+    /// Type-1 walk length for current virtual-graph size `p`.
+    #[inline]
+    pub fn walk_len(&self, p: u64) -> u64 {
+        self.walk_len_factor * (64 - p.max(2).leading_zeros() as u64)
+    }
+
+    /// Is `|Spare| ≥ θn`? (type-1 insertion precondition)
+    #[inline]
+    pub fn spare_sufficient(&self, spare: usize, n: usize) -> bool {
+        spare as u64 * self.theta_inv >= n as u64
+    }
+
+    /// Is `|Low| ≥ θn`? (type-1 deletion precondition)
+    #[inline]
+    pub fn low_sufficient(&self, low: usize, n: usize) -> bool {
+        low as u64 * self.theta_inv >= n as u64
+    }
+
+    /// Coordinator trigger for staggered type-2: counter < 3θn.
+    #[inline]
+    pub fn staggered_trigger(&self, counter: usize, n: usize) -> bool {
+        (counter as u64) * self.theta_inv < 3 * n as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_papers_structure() {
+        let c = DexConfig::new(0);
+        assert_eq!(c.zeta, 8);
+        assert_eq!(c.max_load(), 32);
+        assert_eq!(c.max_load_staggered(), 64);
+        assert!(c.is_low_load(16));
+        assert!(!c.is_low_load(17));
+        assert!(c.is_spare_load(2));
+        assert!(!c.is_spare_load(1));
+    }
+
+    #[test]
+    fn paper_strict_theta() {
+        let c = DexConfig::paper_strict(0);
+        assert_eq!(c.theta_inv, 545); // 68ζ + 1 with ζ = 8
+    }
+
+    #[test]
+    fn walk_len_is_log() {
+        let c = DexConfig::new(0).with_walk_len_factor(6);
+        assert_eq!(c.walk_len(1024), 6 * 11); // ⌈log₂ 1024⌉ = 11? (1024 = 2^10; 64-53=11 bits)
+        assert_eq!(c.walk_len(1023), 6 * 10);
+        assert!(c.walk_len(2) >= 6);
+    }
+
+    #[test]
+    fn threshold_arithmetic_small_n() {
+        let c = DexConfig::new(0); // θ = 1/64
+        // n=10: θn < 1, any nonempty Spare suffices.
+        assert!(c.spare_sufficient(1, 10));
+        assert!(!c.spare_sufficient(0, 10));
+        // n=640: need ≥ 10.
+        assert!(c.spare_sufficient(10, 640));
+        assert!(!c.spare_sufficient(9, 640));
+        // staggered trigger: counter < 3n/64
+        assert!(c.staggered_trigger(29, 640));
+        assert!(!c.staggered_trigger(30, 640));
+    }
+}

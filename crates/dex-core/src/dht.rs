@@ -1,0 +1,127 @@
+//! Distributed hash table on top of DEX (paper, Sect. 4.4.4).
+//!
+//! Every node knows the current p-cycle size `s = p`, hence the same hash
+//! function `h_s : keys → Z_p` (we use the SplitMix64 finalizer mod p). A
+//! key–value pair lives with the node simulating vertex `h_s(k)`; insert
+//! and lookup route along locally computed shortest paths in the virtual
+//! graph, which map to physical paths (Fact 1) — O(log n) rounds and
+//! messages each.
+//!
+//! When the virtual graph is replaced (type-2 recovery), responsibility
+//! rehashes to the new cycle. The paper staggers the data handoff with the
+//! staggered inflation at a constant-factor overhead; we apply the whole
+//! migration at switchover and charge one message per stored item then
+//! (the same total cost, lumped — see DESIGN.md).
+
+use crate::dex::DexNetwork;
+use dex_graph::fxhash::FxHashMap;
+use dex_graph::ids::{NodeId, VertexId};
+use dex_sim::rng::splitmix64;
+use dex_sim::{RecoveryKind, StepKind, StepMetrics};
+
+/// Key type.
+pub type Key = u64;
+/// Value type (O(log n) bits, as CONGEST requires).
+pub type Value = u64;
+
+/// DHT storage (simulator-global view; ownership is always derived from
+/// the *current* virtual mapping, so vertex transfers implicitly move
+/// responsibility exactly as the paper prescribes).
+#[derive(Default)]
+pub struct DhtStore {
+    entries: FxHashMap<Key, Value>,
+    /// p value the stored data is currently partitioned under; a change
+    /// triggers the (charged) migration.
+    hashed_under: Option<u64>,
+}
+
+impl DhtStore {
+    /// Number of stored pairs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// `h_s(k)`: hash a key to a vertex of the current cycle.
+pub fn hash_to_vertex(key: Key, p: u64) -> VertexId {
+    VertexId(splitmix64(key) % p)
+}
+
+impl DexNetwork {
+    /// Node that is currently responsible for `key`.
+    pub fn dht_owner(&self, key: Key) -> NodeId {
+        let z = hash_to_vertex(key, self.cycle.p());
+        self.map.owner_of(z)
+    }
+
+    /// Store `(key, value)`, initiated by node `from`. Returns the metered
+    /// cost (recorded in history as its own step).
+    pub fn dht_insert(&mut self, from: NodeId, key: Key, value: Value) -> StepMetrics {
+        self.net.begin_step();
+        self.migrate_if_rehashed();
+        self.route_dht(from, key);
+        self.dht.entries.insert(key, value);
+        self.net.end_step(StepKind::Insert, RecoveryKind::Type1)
+    }
+
+    /// Look up `key`, initiated by node `from`. The reply routes back, so
+    /// the cost is twice the one-way routing cost.
+    pub fn dht_lookup(&mut self, from: NodeId, key: Key) -> (Option<Value>, StepMetrics) {
+        self.net.begin_step();
+        self.migrate_if_rehashed();
+        self.route_dht(from, key);
+        self.route_dht(from, key); // reply path (same length)
+        let v = self.dht.entries.get(&key).copied();
+        let m = self.net.end_step(StepKind::Insert, RecoveryKind::Type1);
+        (v, m)
+    }
+
+    /// Route one message from `from` to the node owning `h(key)`: the
+    /// initiator computes a shortest path in the virtual graph from one of
+    /// its own vertices and forwards hop by hop; hops between vertices
+    /// simulated by the same node are free local computation.
+    fn route_dht(&mut self, from: NodeId, key: Key) {
+        let target = hash_to_vertex(key, self.cycle.p());
+        let start = *self
+            .map
+            .sim(from)
+            .iter()
+            .min()
+            .expect("initiator simulates a vertex");
+        let vpath = self.cycle.shortest_path(start, target);
+        let mut hops = 0u64;
+        for w in vpath.windows(2) {
+            let (a, b) = (self.map.owner_of(w[0]), self.map.owner_of(w[1]));
+            if a != b {
+                debug_assert!(
+                    self.net.graph().contains_edge(a, b),
+                    "virtual path step not physical: {a} {b}"
+                );
+                hops += 1;
+            }
+        }
+        self.net.charge_rounds(hops);
+        self.net.charge_messages(hops);
+    }
+
+    /// After a type-2 recovery the hash function changed: rehash all data,
+    /// charging one message per item (lump-sum equivalent of the paper's
+    /// staggered handoff).
+    fn migrate_if_rehashed(&mut self) {
+        let p = self.cycle.p();
+        match self.dht.hashed_under {
+            Some(q) if q == p => {}
+            Some(_) => {
+                self.net.charge_messages(self.dht.entries.len() as u64);
+                self.net.charge_rounds(1);
+                self.dht.hashed_under = Some(p);
+            }
+            None => self.dht.hashed_under = Some(p),
+        }
+    }
+}

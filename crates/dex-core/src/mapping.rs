@@ -1,0 +1,311 @@
+//! The virtual mapping Φ (paper, Definition 2) with incremental
+//! `Spare`/`Low` accounting.
+//!
+//! Ground truth for "which node simulates which vertex". The distributed
+//! protocol only ever *reads* local projections of this structure (a node's
+//! own `Sim` set, a hit node's load); global counts are consumed solely by
+//! the coordinator logic, which maintains its own counters via charged
+//! messages and is tested against these.
+
+use dex_graph::fxhash::FxHashMap;
+use dex_graph::ids::{NodeId, VertexId};
+
+/// Surjective map `Φ : V(Z) → V(G)` with per-node `Sim` sets and
+/// incremental `|Spare|` / `|Low|` counters.
+#[derive(Clone)]
+pub struct VirtualMapping {
+    owner: FxHashMap<VertexId, NodeId>,
+    sim: FxHashMap<NodeId, Vec<VertexId>>,
+    /// Nodes with load ≥ 2 (Eq. 2).
+    spare_count: usize,
+    /// Nodes with 1 ≤ load ≤ 2ζ (Eq. 1; nodes absent from the map are not
+    /// counted — in steady state the map is surjective so this matches the
+    /// paper's `Low`).
+    low_count: usize,
+    zeta: u64,
+}
+
+impl VirtualMapping {
+    /// Empty mapping with the given ζ (for the `Low` threshold 2ζ).
+    pub fn new(zeta: u64) -> Self {
+        VirtualMapping {
+            owner: FxHashMap::default(),
+            sim: FxHashMap::default(),
+            spare_count: 0,
+            low_count: 0,
+            zeta,
+        }
+    }
+
+    /// Number of vertices assigned.
+    pub fn num_vertices(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Number of nodes simulating at least one vertex.
+    pub fn num_nodes(&self) -> usize {
+        self.sim.len()
+    }
+
+    /// Owner of vertex `z`, if assigned.
+    #[inline]
+    pub fn owner(&self, z: VertexId) -> Option<NodeId> {
+        self.owner.get(&z).copied()
+    }
+
+    /// Owner of vertex `z`; panics when unassigned (protocol invariant).
+    #[inline]
+    pub fn owner_of(&self, z: VertexId) -> NodeId {
+        self.owner[&z]
+    }
+
+    /// The `Sim` set of node `u` (empty slice if `u` simulates nothing).
+    pub fn sim(&self, u: NodeId) -> &[VertexId] {
+        self.sim.get(&u).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Load of `u` = `|Sim(u)|`.
+    #[inline]
+    pub fn load(&self, u: NodeId) -> u64 {
+        self.sim.get(&u).map(|v| v.len() as u64).unwrap_or(0)
+    }
+
+    /// `|Spare|` (nodes with load ≥ 2).
+    pub fn spare_count(&self) -> usize {
+        self.spare_count
+    }
+
+    /// `|Low|` (nodes with 1 ≤ load ≤ 2ζ).
+    pub fn low_count(&self) -> usize {
+        self.low_count
+    }
+
+    /// Is `u ∈ Spare`?
+    #[inline]
+    pub fn is_spare(&self, u: NodeId) -> bool {
+        self.load(u) >= 2
+    }
+
+    /// Is `u ∈ Low`? (requires u to simulate ≥ 1 vertex)
+    #[inline]
+    pub fn is_low(&self, u: NodeId) -> bool {
+        let l = self.load(u);
+        l >= 1 && l <= 2 * self.zeta
+    }
+
+    fn count_delta(&mut self, load_before: u64, load_after: u64) {
+        let spare = |l: u64| l >= 2;
+        let low = |l: u64| l >= 1 && l <= 2 * self.zeta;
+        match (spare(load_before), spare(load_after)) {
+            (false, true) => self.spare_count += 1,
+            (true, false) => self.spare_count -= 1,
+            _ => {}
+        }
+        match (low(load_before), low(load_after)) {
+            (false, true) => self.low_count += 1,
+            (true, false) => self.low_count -= 1,
+            _ => {}
+        }
+    }
+
+    /// Assign an unowned vertex `z` to `u`.
+    ///
+    /// # Panics
+    /// Panics if `z` is already assigned.
+    pub fn assign(&mut self, z: VertexId, u: NodeId) {
+        let prev = self.owner.insert(z, u);
+        assert!(prev.is_none(), "vertex {z} already owned by {:?}", prev);
+        let list = self.sim.entry(u).or_default();
+        list.push(z);
+        let after = list.len() as u64;
+        self.count_delta(after - 1, after);
+    }
+
+    /// Remove vertex `z` from the mapping; returns its former owner.
+    ///
+    /// # Panics
+    /// Panics if `z` is unassigned.
+    pub fn unassign(&mut self, z: VertexId) -> NodeId {
+        let u = self
+            .owner
+            .remove(&z)
+            .unwrap_or_else(|| panic!("vertex {z} not assigned"));
+        let after = {
+            let list = self.sim.get_mut(&u).expect("sim list missing");
+            let pos = list.iter().position(|&w| w == z).expect("sim entry missing");
+            list.swap_remove(pos);
+            list.len() as u64
+        };
+        self.count_delta(after + 1, after);
+        if after == 0 {
+            self.sim.remove(&u);
+        }
+        u
+    }
+
+    /// Move vertex `z` to node `to`; returns the former owner.
+    pub fn transfer(&mut self, z: VertexId, to: NodeId) -> NodeId {
+        let from = self.unassign(z);
+        self.assign(z, to);
+        from
+    }
+
+    /// All `(vertex, owner)` pairs, sorted by vertex (canonical order).
+    pub fn entries_sorted(&self) -> Vec<(VertexId, NodeId)> {
+        let mut v: Vec<(VertexId, NodeId)> = self.owner.iter().map(|(&z, &u)| (z, u)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Nodes simulating at least one vertex (unsorted).
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.sim.keys().copied()
+    }
+
+    /// Maximum load over all mapped nodes.
+    pub fn max_load(&self) -> u64 {
+        self.sim.values().map(|v| v.len() as u64).max().unwrap_or(0)
+    }
+
+    /// Recount spare/low from scratch (test oracle for the incremental
+    /// counters).
+    pub fn recount(&self) -> (usize, usize) {
+        let mut spare = 0;
+        let mut low = 0;
+        for list in self.sim.values() {
+            let l = list.len() as u64;
+            if l >= 2 {
+                spare += 1;
+            }
+            if l >= 1 && l <= 2 * self.zeta {
+                low += 1;
+            }
+        }
+        (spare, low)
+    }
+
+    /// Internal consistency check.
+    pub fn validate(&self) -> Result<(), String> {
+        for (&z, &u) in &self.owner {
+            let list = self
+                .sim
+                .get(&u)
+                .ok_or_else(|| format!("owner {u} of {z} has no sim list"))?;
+            if !list.contains(&z) {
+                return Err(format!("sim({u}) missing {z}"));
+            }
+        }
+        let total: usize = self.sim.values().map(Vec::len).sum();
+        if total != self.owner.len() {
+            return Err(format!(
+                "sim total {total} != owner count {}",
+                self.owner.len()
+            ));
+        }
+        let (spare, low) = self.recount();
+        if spare != self.spare_count || low != self.low_count {
+            return Err(format!(
+                "counter drift: spare {} (true {spare}), low {} (true {low})",
+                self.spare_count, self.low_count
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for VirtualMapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Φ(|V|={}, nodes={}, spare={}, low={}, maxload={})",
+            self.num_vertices(),
+            self.num_nodes(),
+            self.spare_count,
+            self.low_count,
+            self.max_load()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn z(i: u64) -> VertexId {
+        VertexId(i)
+    }
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn assign_transfer_unassign_roundtrip() {
+        let mut m = VirtualMapping::new(8);
+        m.assign(z(0), n(0));
+        m.assign(z(1), n(0));
+        m.assign(z(2), n(1));
+        assert_eq!(m.load(n(0)), 2);
+        assert_eq!(m.owner_of(z(1)), n(0));
+        assert_eq!(m.transfer(z(1), n(1)), n(0));
+        assert_eq!(m.load(n(1)), 2);
+        assert_eq!(m.unassign(z(2)), n(1));
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn spare_low_counters_track() {
+        let mut m = VirtualMapping::new(8);
+        // One node with 1 vertex: low but not spare.
+        m.assign(z(0), n(0));
+        assert_eq!((m.spare_count(), m.low_count()), (0, 1));
+        // Load 2: spare and low.
+        m.assign(z(1), n(0));
+        assert_eq!((m.spare_count(), m.low_count()), (1, 1));
+        // Push to 2ζ + 1 = 17: leaves Low.
+        for i in 2..17 {
+            m.assign(z(i), n(0));
+        }
+        assert_eq!(m.load(n(0)), 17);
+        assert_eq!((m.spare_count(), m.low_count()), (1, 0));
+        // Back to 16: re-enters Low.
+        m.unassign(z(16));
+        assert_eq!((m.spare_count(), m.low_count()), (1, 1));
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_nodes_are_pruned() {
+        let mut m = VirtualMapping::new(8);
+        m.assign(z(0), n(3));
+        m.unassign(z(0));
+        assert_eq!(m.num_nodes(), 0);
+        assert_eq!(m.load(n(3)), 0);
+        assert_eq!((m.spare_count(), m.low_count()), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already owned")]
+    fn double_assign_rejected() {
+        let mut m = VirtualMapping::new(8);
+        m.assign(z(0), n(0));
+        m.assign(z(0), n(1));
+    }
+
+    #[test]
+    fn recount_matches_incremental_under_churn() {
+        let mut m = VirtualMapping::new(8);
+        for i in 0..100u64 {
+            m.assign(z(i), n(i % 7));
+        }
+        for i in (0..100u64).step_by(3) {
+            m.transfer(z(i), n((i + 1) % 7));
+        }
+        for i in (0..100u64).step_by(5) {
+            m.unassign(z(i));
+        }
+        m.validate().unwrap();
+        let (s, l) = m.recount();
+        assert_eq!(s, m.spare_count());
+        assert_eq!(l, m.low_count());
+    }
+}

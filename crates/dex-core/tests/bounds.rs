@@ -1,0 +1,143 @@
+//! Cost-bound tests: Theorem 1's shape at test scale.
+//!
+//! These enforce the *scaling shape*, not absolute constants: rounds and
+//! messages per type-1 step grow like log n, topology changes stay O(1),
+//! loads never exceed 4ζ (8ζ during staggering), and the spectral gap
+//! never collapses.
+
+use dex_core::{invariants, DexConfig, DexNetwork, RecoveryMode};
+use dex_graph::ids::NodeId;
+use dex_sim::{RecoveryKind, Summary};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn mixed_churn(dex: &mut DexNetwork, steps: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next = 5_000_000u64;
+    for _ in 0..steps {
+        let ids = dex.node_ids();
+        if rng.random_bool(0.5) || dex.n() <= 4 {
+            let v = ids[rng.random_range(0..ids.len())];
+            dex.insert(NodeId(next), v);
+            next += 1;
+        } else {
+            let victim = ids[rng.random_range(0..ids.len())];
+            dex.delete(victim);
+        }
+    }
+}
+
+#[test]
+fn type1_topology_changes_are_constant() {
+    let mut dex = DexNetwork::bootstrap(DexConfig::new(1).simplified(), 64);
+    mixed_churn(&mut dex, 200, 42);
+    let type1: Vec<u64> = dex
+        .net
+        .history
+        .iter()
+        .filter(|m| m.recovery == RecoveryKind::Type1)
+        .map(|m| m.topology_changes)
+        .collect();
+    assert!(!type1.is_empty());
+    let max = type1.iter().copied().max().unwrap();
+    // Deletion of a load-4ζ node touches ≤ (6+4)·4ζ edges; in practice far
+    // fewer. The point is independence of n, checked across scales below.
+    assert!(max <= 12 * 32, "type-1 topology changes {max}");
+}
+
+#[test]
+fn per_step_costs_scale_logarithmically() {
+    // Same churn at three scales; p95 rounds must grow ~log, not ~linear.
+    let mut p95 = Vec::new();
+    for n0 in [32u64, 128, 512] {
+        let mut dex = DexNetwork::bootstrap(DexConfig::new(2).simplified(), n0);
+        mixed_churn(&mut dex, 150, 7);
+        let rounds = Summary::of(
+            dex.net
+                .history
+                .iter()
+                .filter(|m| m.recovery == RecoveryKind::Type1)
+                .map(|m| m.rounds),
+        );
+        p95.push(rounds.p95);
+    }
+    // 16× the nodes: allow ~2.5× the rounds (log scaling + slack), never 16×.
+    assert!(
+        p95[2] < p95[0] * 4,
+        "rounds look super-logarithmic: {p95:?}"
+    );
+}
+
+#[test]
+fn loads_and_degrees_bounded_throughout() {
+    for mode in [RecoveryMode::Simplified, RecoveryMode::Staggered] {
+        let cfg = match mode {
+            RecoveryMode::Simplified => DexConfig::new(3).simplified(),
+            RecoveryMode::Staggered => DexConfig::new(3).staggered(),
+        };
+        let mut dex = DexNetwork::bootstrap(cfg, 16);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut next = 6_000_000u64;
+        let mut worst_load = 0;
+        let mut worst_deg = 0;
+        for _ in 0..400 {
+            let ids = dex.node_ids();
+            if rng.random_bool(0.55) || dex.n() <= 4 {
+                let v = ids[rng.random_range(0..ids.len())];
+                dex.insert(NodeId(next), v);
+                next += 1;
+            } else {
+                dex.delete(ids[rng.random_range(0..ids.len())]);
+            }
+            worst_load = worst_load.max(dex.max_total_load());
+            worst_deg = worst_deg.max(dex.max_degree());
+            let bound = if dex.type2_in_progress() {
+                dex.cfg.max_load_staggered()
+            } else {
+                dex.cfg.max_load()
+            };
+            assert!(
+                dex.max_total_load() <= bound,
+                "{mode:?}: load {} > {bound}",
+                dex.max_total_load()
+            );
+        }
+        // Degrees are deterministically O(1) — Theorem 1.
+        assert!(worst_deg <= 16 * worst_load as usize, "{mode:?}: degree {worst_deg}");
+        invariants::assert_ok(&dex);
+    }
+}
+
+#[test]
+fn spectral_gap_constant_under_long_churn() {
+    let mut dex = DexNetwork::bootstrap(DexConfig::new(4).staggered(), 24);
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut next = 7_000_000u64;
+    let mut min_gap: f64 = f64::INFINITY;
+    for step in 0..300 {
+        let ids = dex.node_ids();
+        if rng.random_bool(0.5) || dex.n() <= 4 {
+            let v = ids[rng.random_range(0..ids.len())];
+            dex.insert(NodeId(next), v);
+            next += 1;
+        } else {
+            dex.delete(ids[rng.random_range(0..ids.len())]);
+        }
+        if step % 10 == 0 {
+            min_gap = min_gap.min(dex.spectral_gap());
+        }
+    }
+    // Lemma 9(b): during staggering the gap may dip to (1−λ)²/8 of the
+    // family gap (~0.06²-ish); 0.003 is a conservative floor at this scale.
+    assert!(min_gap > 0.003, "gap collapsed to {min_gap}");
+}
+
+#[test]
+fn walks_almost_always_hit_on_first_try() {
+    let mut dex = DexNetwork::bootstrap(DexConfig::new(5).simplified(), 128);
+    mixed_churn(&mut dex, 300, 23);
+    let s = dex.walk_stats;
+    assert!(s.attempts > 0);
+    let hit_rate = s.hits as f64 / s.attempts as f64;
+    assert!(hit_rate > 0.9, "walk hit rate {hit_rate} ({s:?})");
+}

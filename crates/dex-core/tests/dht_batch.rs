@@ -1,0 +1,135 @@
+//! DHT (Sect. 4.4.4) and batch-churn (Sect. 5) end-to-end tests.
+
+use dex_core::{invariants, DexConfig, DexNetwork};
+use dex_graph::ids::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn dht_store_and_lookup() {
+    let mut dex = DexNetwork::bootstrap(DexConfig::new(1).simplified(), 16);
+    let ids = dex.node_ids();
+    for k in 0..100u64 {
+        dex.dht_insert(ids[(k % 16) as usize], k, k * 10);
+    }
+    for k in 0..100u64 {
+        let (v, m) = dex.dht_lookup(ids[((k + 3) % 16) as usize], k);
+        assert_eq!(v, Some(k * 10), "key {k}");
+        assert!(m.rounds <= 64, "lookup rounds {}", m.rounds);
+    }
+    let (v, _) = dex.dht_lookup(ids[0], 10_000);
+    assert_eq!(v, None);
+}
+
+#[test]
+fn dht_survives_churn_and_rehash() {
+    let mut dex = DexNetwork::bootstrap(DexConfig::new(2).simplified(), 8);
+    let mut rng = StdRng::seed_from_u64(5);
+    for k in 0..50u64 {
+        let ids = dex.node_ids();
+        let from = ids[rng.random_range(0..ids.len())];
+        dex.dht_insert(from, k, 7000 + k);
+    }
+    // Heavy growth: forces at least one inflation (rehash).
+    for next in 1_000_000u64..1_000_300 {
+        let ids = dex.node_ids();
+        let v = ids[rng.random_range(0..ids.len())];
+        dex.insert(NodeId(next), v);
+    }
+    assert!(dex.walk_stats.type2 >= 1, "inflation expected");
+    invariants::assert_ok(&dex);
+    for k in 0..50u64 {
+        let ids = dex.node_ids();
+        let from = ids[rng.random_range(0..ids.len())];
+        let (v, _) = dex.dht_lookup(from, k);
+        assert_eq!(v, Some(7000 + k), "key {k} lost after churn");
+    }
+}
+
+#[test]
+fn dht_lookup_cost_is_logarithmic() {
+    // Routing cost must track the p-cycle diameter (O(log n)), not n.
+    let mut costs = Vec::new();
+    for n0 in [16u64, 64, 256] {
+        let mut dex = DexNetwork::bootstrap(DexConfig::new(3).simplified(), n0);
+        let ids = dex.node_ids();
+        let mut worst = 0;
+        for k in 0..40u64 {
+            dex.dht_insert(ids[0], k, k);
+            let (_, m) = dex.dht_lookup(ids[(k % n0) as usize], k);
+            worst = worst.max(m.rounds);
+        }
+        costs.push(worst);
+    }
+    // 16× more nodes must not cost anywhere near 16× the rounds.
+    assert!(
+        costs[2] < costs[0] * 4 + 16,
+        "lookup cost not logarithmic: {costs:?}"
+    );
+}
+
+#[test]
+fn batch_insert_heals_in_one_step() {
+    let mut dex = DexNetwork::bootstrap(DexConfig::new(4).simplified(), 32);
+    let ids = dex.node_ids();
+    let joins: Vec<(NodeId, NodeId)> = (0..8)
+        .map(|i| (NodeId(2_000_000 + i), ids[i as usize * 3]))
+        .collect();
+    let m = dex.insert_batch(&joins);
+    assert_eq!(dex.n(), 40);
+    assert!(m.messages > 0);
+    invariants::assert_ok(&dex);
+}
+
+#[test]
+fn batch_delete_heals_in_one_step() {
+    let mut dex = DexNetwork::bootstrap(DexConfig::new(5).simplified(), 32);
+    let ids = dex.node_ids();
+    let victims: Vec<NodeId> = ids.iter().copied().take(6).collect();
+    dex.delete_batch(&victims);
+    assert_eq!(dex.n(), 26);
+    invariants::assert_ok(&dex);
+}
+
+#[test]
+fn repeated_batches_with_type2() {
+    let mut dex = DexNetwork::bootstrap(DexConfig::new(6).simplified(), 16);
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut next = 3_000_000u64;
+    for round in 0..30 {
+        if round % 3 != 2 {
+            let ids = dex.node_ids();
+            let joins: Vec<(NodeId, NodeId)> = (0..4)
+                .map(|_| {
+                    let v = ids[rng.random_range(0..ids.len())];
+                    next += 1;
+                    (NodeId(next), v)
+                })
+                .collect();
+            dex.insert_batch(&joins);
+        } else {
+            let ids = dex.node_ids();
+            let mut victims = Vec::new();
+            let mut i = 0;
+            while victims.len() < 3 && i < ids.len() {
+                victims.push(ids[rng.random_range(0..ids.len())]);
+                victims.dedup();
+                i += 1;
+            }
+            victims.sort_unstable();
+            victims.dedup();
+            dex.delete_batch(&victims);
+        }
+        invariants::assert_ok(&dex);
+    }
+    assert!(dex.spectral_gap() > 0.01);
+}
+
+#[test]
+#[should_panic(expected = "fan-in")]
+fn batch_rejects_excess_fan_in() {
+    let mut dex = DexNetwork::bootstrap(DexConfig::new(7).simplified(), 8);
+    let v = dex.node_ids()[0];
+    let joins: Vec<(NodeId, NodeId)> = (0..9).map(|i| (NodeId(900 + i), v)).collect();
+    dex.insert_batch(&joins);
+}

@@ -1,0 +1,97 @@
+//! Property-based tests: arbitrary churn scripts never break the
+//! structural invariants, in either type-2 mode.
+
+use dex_core::{invariants, DexConfig, DexNetwork};
+use dex_graph::ids::NodeId;
+use proptest::prelude::*;
+
+/// A churn script: per step, insert? plus an index used to pick the
+/// attach point / victim among the live nodes.
+fn arb_script(max_len: usize) -> impl Strategy<Value = Vec<(bool, usize)>> {
+    proptest::collection::vec((any::<bool>(), 0usize..1 << 16), 1..max_len)
+}
+
+fn run_script(cfg: DexConfig, script: &[(bool, usize)]) -> Result<(), TestCaseError> {
+    let mut net = DexNetwork::bootstrap(cfg, 10);
+    let mut next = 1_000_000u64;
+    for &(insert, raw) in script {
+        let live = net.node_ids();
+        let idx = raw % live.len();
+        if insert || live.len() <= 4 {
+            net.insert(NodeId(next), live[idx]);
+            next += 1;
+        } else {
+            net.delete(live[idx]);
+        }
+        prop_assert!(
+            invariants::check(&net).is_ok(),
+            "invariant broke: {:?}",
+            invariants::check(&net)
+        );
+    }
+    // Structural health at the end.
+    prop_assert!(net.max_total_load() <= net.cfg.max_load_staggered());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simplified_mode_survives_arbitrary_scripts(script in arb_script(80)) {
+        run_script(DexConfig::new(1).simplified(), &script)?;
+    }
+
+    #[test]
+    fn staggered_mode_survives_arbitrary_scripts(script in arb_script(80)) {
+        run_script(DexConfig::new(2).staggered(), &script)?;
+    }
+
+    #[test]
+    fn insert_heavy_scripts_trigger_clean_inflations(
+        raws in proptest::collection::vec(0usize..1 << 16, 150..260)
+    ) {
+        // Pure insertion: guaranteed to exhaust the initial spares.
+        let mut net = DexNetwork::bootstrap(DexConfig::new(3).simplified(), 8);
+        for (i, raw) in raws.into_iter().enumerate() {
+            let live = net.node_ids();
+            net.insert(NodeId(2_000_000 + i as u64), live[raw % live.len()]);
+            prop_assert!(invariants::check(&net).is_ok());
+        }
+        prop_assert!(net.walk_stats.type2 >= 1, "no inflation after filling spares");
+        prop_assert!(net.spectral_gap() > 0.01);
+    }
+
+    #[test]
+    fn dht_agrees_with_store_semantics(
+        keys in proptest::collection::vec(0u64..64, 1..60),
+        churn in arb_script(25)
+    ) {
+        // Model-based: the DHT must behave exactly like a HashMap,
+        // regardless of interleaved churn.
+        let mut net = DexNetwork::bootstrap(DexConfig::new(4).simplified(), 12);
+        let mut model = std::collections::HashMap::new();
+        let mut next = 3_000_000u64;
+        for (i, &k) in keys.iter().enumerate() {
+            let live = net.node_ids();
+            let from = live[i % live.len()];
+            net.dht_insert(from, k, k * 31 + i as u64);
+            model.insert(k, k * 31 + i as u64);
+            if let Some(&(insert, raw)) = churn.get(i % churn.len()) {
+                let live = net.node_ids();
+                let idx = raw % live.len();
+                if insert || live.len() <= 4 {
+                    net.insert(NodeId(next), live[idx]);
+                    next += 1;
+                } else {
+                    net.delete(live[idx]);
+                }
+            }
+        }
+        for (&k, &v) in &model {
+            let from = net.node_ids()[0];
+            let (got, _) = net.dht_lookup(from, k);
+            prop_assert_eq!(got, Some(v), "key {}", k);
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! A dynamic undirected multigraph with self-loops.
+//!
+//! The real network maintained by DEX is the image of the virtual p-cycle
+//! under a vertex contraction (paper, Sect. 3.1), and contractions produce
+//! parallel edges and self-loops. Those must be kept — they carry weight in
+//! the random-walk operator, and Lemma 1 (λ_G ≤ λ_Z) only holds for the true
+//! contracted multigraph.
+//!
+//! Conventions:
+//! * a self-loop at `u` appears **once** in `adj[u]` and contributes **1** to
+//!   `degree(u)` — this matches Definition 1, where the p-cycle is called
+//!   3-regular with vertex 0 carrying a self-loop;
+//! * a parallel edge appears once per copy;
+//! * `num_edges` counts undirected edges with multiplicity (self-loops
+//!   count 1).
+
+use crate::fxhash::FxHashMap;
+use crate::ids::NodeId;
+
+/// Dynamic undirected multigraph. See module docs for conventions.
+#[derive(Clone, Default)]
+pub struct MultiGraph {
+    adj: FxHashMap<NodeId, Vec<NodeId>>,
+    num_edges: usize,
+}
+
+impl MultiGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty graph with room for `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            adj: FxHashMap::with_capacity_and_hasher(n, Default::default()),
+            num_edges: 0,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges, counted with multiplicity
+    /// (self-loops count 1).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Does the graph contain `u`?
+    #[inline]
+    pub fn has_node(&self, u: NodeId) -> bool {
+        self.adj.contains_key(&u)
+    }
+
+    /// Insert an isolated node. Returns `false` if it already existed.
+    pub fn add_node(&mut self, u: NodeId) -> bool {
+        match self.adj.entry(u) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(Vec::new());
+                true
+            }
+        }
+    }
+
+    /// Remove `u` and all incident edges (including parallel copies and
+    /// loops). Returns the number of undirected edges removed, or `None` if
+    /// `u` was not present.
+    pub fn remove_node(&mut self, u: NodeId) -> Option<usize> {
+        let incident = self.adj.remove(&u)?;
+        let mut removed = 0usize;
+        for v in incident {
+            removed += 1;
+            if v != u {
+                let list = self
+                    .adj
+                    .get_mut(&v)
+                    .expect("adjacency symmetry violated: missing reverse list");
+                let pos = list
+                    .iter()
+                    .position(|&w| w == u)
+                    .expect("adjacency symmetry violated: missing reverse entry");
+                list.swap_remove(pos);
+            }
+        }
+        self.num_edges -= removed;
+        Some(removed)
+    }
+
+    /// Add one copy of the undirected edge `{u, v}` (which may be a
+    /// self-loop or a parallel copy). Both endpoints must exist.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is missing — the caller owns membership.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!(self.has_node(u), "add_edge: missing endpoint {u}");
+        assert!(self.has_node(v), "add_edge: missing endpoint {v}");
+        if u == v {
+            self.adj.get_mut(&u).unwrap().push(u);
+        } else {
+            self.adj.get_mut(&u).unwrap().push(v);
+            self.adj.get_mut(&v).unwrap().push(u);
+        }
+        self.num_edges += 1;
+    }
+
+    /// Remove one copy of the undirected edge `{u, v}`. Returns `true` if a
+    /// copy existed and was removed.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        let Some(lu) = self.adj.get_mut(&u) else {
+            return false;
+        };
+        let Some(pos) = lu.iter().position(|&w| w == v) else {
+            return false;
+        };
+        lu.swap_remove(pos);
+        if u != v {
+            let lv = self
+                .adj
+                .get_mut(&v)
+                .expect("adjacency symmetry violated: missing reverse list");
+            let pos = lv
+                .iter()
+                .position(|&w| w == u)
+                .expect("adjacency symmetry violated: missing reverse entry");
+            lv.swap_remove(pos);
+        }
+        self.num_edges -= 1;
+        true
+    }
+
+    /// Degree of `u` (self-loop counts 1, parallel edges count each).
+    ///
+    /// # Panics
+    /// Panics if `u` is not in the graph.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[&u].len()
+    }
+
+    /// Neighbor multiset of `u` (self-loops appear as `u` itself).
+    ///
+    /// # Panics
+    /// Panics if `u` is not in the graph.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.adj[&u]
+    }
+
+    /// Multiplicity of the undirected edge `{u, v}` (0 if absent).
+    pub fn edge_multiplicity(&self, u: NodeId, v: NodeId) -> usize {
+        match self.adj.get(&u) {
+            Some(list) => list.iter().filter(|&&w| w == v).count(),
+            None => 0,
+        }
+    }
+
+    /// Is there at least one copy of `{u, v}`?
+    #[inline]
+    pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_multiplicity(u, v) > 0
+    }
+
+    /// Iterator over node ids (hash order; deterministic for a fixed
+    /// insert/remove history because the hasher is deterministic).
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj.keys().copied()
+    }
+
+    /// Node ids in ascending order (canonical order for reporting).
+    pub fn nodes_sorted(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.adj.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Enumerate undirected edges with multiplicity; each parallel copy is
+    /// yielded once, with endpoints ordered `u <= v`.
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::with_capacity(self.num_edges);
+        for (&u, list) in &self.adj {
+            for &v in list {
+                if u <= v {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.values().map(|l| l.len()).max().unwrap_or(0)
+    }
+
+    /// Minimum degree over all nodes (0 for the empty graph).
+    pub fn min_degree(&self) -> usize {
+        self.adj.values().map(|l| l.len()).min().unwrap_or(0)
+    }
+
+    /// Sum of all degrees. Equals `2·edges − loops` under our conventions.
+    pub fn degree_sum(&self) -> usize {
+        self.adj.values().map(|l| l.len()).sum()
+    }
+
+    /// Consistency check: every directed entry has its reverse, edge count
+    /// matches, no dangling endpoints. Used by tests and invariant checkers.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut directed = 0usize;
+        let mut loops = 0usize;
+        for (&u, list) in &self.adj {
+            for &v in list {
+                if v == u {
+                    loops += 1;
+                    directed += 2; // a loop is its own reverse
+                    continue;
+                }
+                directed += 1;
+                let back = self
+                    .adj
+                    .get(&v)
+                    .ok_or_else(|| format!("edge {u}->{v} dangles: {v} missing"))?;
+                let fwd = list.iter().filter(|&&w| w == v).count();
+                let rev = back.iter().filter(|&&w| w == u).count();
+                if fwd != rev {
+                    return Err(format!(
+                        "asymmetric multiplicity {u}<->{v}: {fwd} vs {rev}"
+                    ));
+                }
+            }
+        }
+        let undirected = directed / 2;
+        if undirected != self.num_edges {
+            return Err(format!(
+                "edge count mismatch: counted {undirected} (loops {loops}), cached {}",
+                self.num_edges
+            ));
+        }
+        Ok(())
+    }
+
+    /// Build a compact index: `order[i]` is the node with dense index `i`,
+    /// and the returned map sends each node id to its dense index. Order is
+    /// ascending by id so that numeric code is deterministic.
+    pub fn dense_index(&self) -> (Vec<NodeId>, FxHashMap<NodeId, usize>) {
+        let order = self.nodes_sorted();
+        let mut map = FxHashMap::with_capacity_and_hasher(order.len(), Default::default());
+        for (i, &u) in order.iter().enumerate() {
+            map.insert(u, i);
+        }
+        (order, map)
+    }
+
+    /// Compressed sparse row form (dense indices) for matrix-free numerics.
+    /// A self-loop contributes a single entry, matching `degree`.
+    pub fn to_csr(&self) -> Csr {
+        let (order, map) = self.dense_index();
+        let n = order.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(self.degree_sum());
+        offsets.push(0u32);
+        for &u in &order {
+            for &v in &self.adj[&u] {
+                targets.push(map[&v] as u32);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        Csr {
+            order,
+            offsets,
+            targets,
+        }
+    }
+}
+
+impl std::fmt::Debug for MultiGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MultiGraph(n={}, m={}, Δ={})",
+            self.num_nodes(),
+            self.num_edges(),
+            self.max_degree()
+        )
+    }
+}
+
+/// Compressed sparse row view of a [`MultiGraph`] snapshot.
+pub struct Csr {
+    /// Dense-index → node id.
+    pub order: Vec<NodeId>,
+    /// Row offsets, length `n + 1`.
+    pub offsets: Vec<u32>,
+    /// Concatenated neighbor lists (dense indices).
+    pub targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Neighbors of dense index `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Degree of dense index `i`.
+    #[inline]
+    pub fn degree(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    fn triangle() -> MultiGraph {
+        let mut g = MultiGraph::new();
+        for i in 0..3 {
+            g.add_node(n(i));
+        }
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        g.add_edge(n(2), n(0));
+        g
+    }
+
+    #[test]
+    fn basic_construction() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(n(0)), 2);
+        assert!(g.contains_edge(n(0), n(1)));
+        assert!(!g.contains_edge(n(0), n(0)));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn self_loop_counts_once() {
+        let mut g = MultiGraph::new();
+        g.add_node(n(0));
+        g.add_edge(n(0), n(0));
+        assert_eq!(g.degree(n(0)), 1);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_multiplicity(n(0), n(0)), 1);
+        g.validate().unwrap();
+        assert!(g.remove_edge(n(0), n(0)));
+        assert_eq!(g.num_edges(), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn parallel_edges_tracked_with_multiplicity() {
+        let mut g = MultiGraph::new();
+        g.add_node(n(0));
+        g.add_node(n(1));
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(0));
+        assert_eq!(g.edge_multiplicity(n(0), n(1)), 3);
+        assert_eq!(g.degree(n(0)), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.remove_edge(n(0), n(1)));
+        assert_eq!(g.edge_multiplicity(n(1), n(0)), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn remove_node_cleans_reverse_entries() {
+        let mut g = triangle();
+        g.add_edge(n(0), n(0)); // loop
+        g.add_edge(n(0), n(1)); // parallel copy
+        let removed = g.remove_node(n(0)).unwrap();
+        assert_eq!(removed, 4); // 0-1, 0-2, loop, parallel 0-1
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1); // only 1-2 survives
+        assert_eq!(g.degree(n(1)), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn remove_missing_returns_none_or_false() {
+        let mut g = triangle();
+        assert!(g.remove_node(n(99)).is_none());
+        assert!(!g.remove_edge(n(0), n(99)));
+        assert!(!g.remove_edge(n(99), n(0)));
+    }
+
+    #[test]
+    fn edges_enumeration_covers_multiplicity() {
+        let mut g = MultiGraph::new();
+        g.add_node(n(0));
+        g.add_node(n(1));
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(1));
+        let mut e = g.edges();
+        e.sort();
+        assert_eq!(e, vec![(n(0), n(1)), (n(0), n(1)), (n(1), n(1))]);
+    }
+
+    #[test]
+    fn csr_matches_graph() {
+        let mut g = triangle();
+        g.add_edge(n(1), n(1));
+        let csr = g.to_csr();
+        assert_eq!(csr.n(), 3);
+        // order is ascending by id, so dense index i == node id i here.
+        assert_eq!(csr.degree(0), 2);
+        assert_eq!(csr.degree(1), 3);
+        let mut row1: Vec<u32> = csr.row(1).to_vec();
+        row1.sort_unstable();
+        assert_eq!(row1, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn degree_sum_identity() {
+        let mut g = triangle();
+        g.add_edge(n(0), n(0));
+        // degree_sum = 2·(non-loop edges) + 1·loops = 2*3 + 1 = 7
+        assert_eq!(g.degree_sum(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing endpoint")]
+    fn add_edge_requires_endpoints() {
+        let mut g = MultiGraph::new();
+        g.add_node(n(0));
+        g.add_edge(n(0), n(1));
+    }
+}

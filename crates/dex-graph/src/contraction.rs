@@ -1,0 +1,93 @@
+//! Vertex contraction.
+//!
+//! The bridge between the virtual and real worlds: the real network `G` is
+//! the image of the virtual p-cycle `Z` under the contraction that merges
+//! all vertices simulated by the same node (paper, Sect. 3.1). Lemma 10
+//! (Chung) gives `λ_H ≤ λ_G` when `H` is formed from `G` by contractions,
+//! which is Lemma 1's engine: the network's gap is at least the virtual
+//! graph's gap. [`contract`] keeps parallel edges and converts merged edges
+//! into self-loops, exactly the convention the spectral module expects.
+
+use crate::adjacency::MultiGraph;
+use crate::fxhash::FxHashMap;
+use crate::ids::NodeId;
+
+/// Contract `g` along `class_of`: every node `u` maps to the representative
+/// `class_of(u)`; each edge `{u, v}` becomes `{class_of(u), class_of(v)}`
+/// (a self-loop when the classes coincide). Parallel copies are preserved.
+pub fn contract<F: Fn(NodeId) -> NodeId>(g: &MultiGraph, class_of: F) -> MultiGraph {
+    let mut out = MultiGraph::new();
+    let mut cache: FxHashMap<NodeId, NodeId> = FxHashMap::default();
+    let rep = |u: NodeId, cache: &mut FxHashMap<NodeId, NodeId>| -> NodeId {
+        *cache.entry(u).or_insert_with(|| class_of(u))
+    };
+    for u in g.nodes() {
+        let r = rep(u, &mut cache);
+        out.add_node(r);
+    }
+    for (u, v) in g.edges() {
+        let ru = rep(u, &mut cache);
+        let rv = rep(v, &mut cache);
+        out.add_edge(ru, rv);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcycle::PCycle;
+    use crate::spectral::spectral_gap;
+
+    #[test]
+    fn contracting_an_edge_merges_and_loops() {
+        // Triangle 0-1-2; contract 1 into 0.
+        let mut g = MultiGraph::new();
+        for i in 0..3 {
+            g.add_node(NodeId(i));
+        }
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(0));
+        let h = contract(&g, |u| if u == NodeId(1) { NodeId(0) } else { u });
+        assert_eq!(h.num_nodes(), 2);
+        assert_eq!(h.num_edges(), 3); // loop at 0 + two parallel 0-2
+        assert_eq!(h.edge_multiplicity(NodeId(0), NodeId(0)), 1);
+        assert_eq!(h.edge_multiplicity(NodeId(0), NodeId(2)), 2);
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn identity_contraction_is_identity() {
+        let g = PCycle::new(23).to_multigraph();
+        let h = contract(&g, |u| u);
+        assert_eq!(h.num_nodes(), g.num_nodes());
+        assert_eq!(h.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn lemma10_contraction_never_shrinks_gap() {
+        // Pair up consecutive vertices of Z(p): contraction halves n;
+        // Lemma 10 says λ_H ≤ λ_G, i.e. gap(H) ≥ gap(G).
+        for p in [23u64, 101] {
+            let g = PCycle::new(p).to_multigraph();
+            let gap_g = spectral_gap(&g);
+            let h = contract(&g, |u| NodeId(u.0 / 2 * 2));
+            let gap_h = spectral_gap(&h);
+            assert!(
+                gap_h >= gap_g - 1e-6,
+                "p={p}: contraction lowered gap {gap_g} -> {gap_h}"
+            );
+        }
+    }
+
+    #[test]
+    fn contraction_to_single_node() {
+        let g = PCycle::new(11).to_multigraph();
+        let h = contract(&g, |_| NodeId(0));
+        assert_eq!(h.num_nodes(), 1);
+        assert_eq!(h.num_edges(), g.num_edges());
+        // All edges became loops.
+        assert_eq!(h.edge_multiplicity(NodeId(0), NodeId(0)), g.num_edges());
+    }
+}

@@ -1,0 +1,42 @@
+//! Graph and numeric substrate for the DEX self-healing expander reproduction.
+//!
+//! This crate provides everything "below" the distributed algorithm:
+//!
+//! * [`adjacency::MultiGraph`] — a dynamic undirected multigraph with
+//!   self-loops. Multigraphs are essential here: the real network is a
+//!   *vertex contraction* of the virtual p-cycle (paper, Sect. 3.1), and
+//!   contraction creates parallel edges and loops that carry spectral weight.
+//! * [`primes`] — deterministic Miller–Rabin primality and Bertrand-range
+//!   prime search, used to pick the p-cycle size `p ∈ (4n, 8n)`.
+//! * [`pcycle`] — the 3-regular p-cycle expander family `Z(p)`
+//!   (paper, Definition 1; Lubotzky's construction).
+//! * [`spectral`] — matrix-free power iteration for the second eigenvalue of
+//!   the lazy random-walk operator, plus a dense Jacobi eigensolver used as a
+//!   test oracle; Cheeger-inequality helpers (paper, Theorem 2).
+//! * [`expansion`] — exact edge expansion `h(G)` by subset enumeration for
+//!   small graphs (paper, Definition 5).
+//! * [`contraction`] — vertex contraction, used both to *build* the real
+//!   network from the virtual graph and to validate Lemma 10 numerically.
+//! * [`generators`] — random regular graphs, unions of random Hamiltonian
+//!   cycles (the Law–Siu baseline substrate), rings, cliques, hypercubes.
+//! * [`walks`] — a random-walk engine and mixing-time estimation.
+//! * [`connectivity`] — BFS/DFS, components, diameter.
+//!
+//! All structures are deterministic given an RNG seed; nothing here performs
+//! I/O or spawns threads.
+
+pub mod adjacency;
+pub mod connectivity;
+pub mod contraction;
+pub mod expansion;
+pub mod fxhash;
+pub mod generators;
+pub mod ids;
+pub mod pcycle;
+pub mod primes;
+pub mod spectral;
+pub mod walks;
+
+pub use adjacency::MultiGraph;
+pub use ids::{NodeId, VertexId};
+pub use pcycle::PCycle;

@@ -1,0 +1,519 @@
+//! The p-cycle expander family `Z(p)` (paper, Definition 1).
+//!
+//! For a prime `p`, `Z(p)` has vertex set `Z_p = {0, …, p−1}` and edges
+//!
+//! 1. cycle edges `{x, x+1 mod p}`,
+//! 2. inverse chords `{x, x⁻¹ mod p}` for `x, x⁻¹ > 0`,
+//! 3. a self-loop at 0.
+//!
+//! Vertices 1 and `p−1` are their own inverses, so their chords are
+//! self-loops too; every vertex then has degree exactly 3 (self-loops count
+//! once, matching [`crate::MultiGraph`] conventions). Lubotzky showed this
+//! family has a constant eigenvalue gap, which is what DEX leans on.
+//!
+//! The [`resize`] submodule holds the pure arithmetic of *inflation*
+//! (Eq. 6–7: old vertex `x` becomes the cloud `y₀…y_c(x)` in the larger
+//! cycle) and *deflation* (`x ↦ ⌊x/α⌋`), with the bijection/surjection
+//! properties of Lemmas 4 and 6 verified by tests.
+
+use crate::adjacency::MultiGraph;
+use crate::fxhash::FxHashMap;
+use crate::ids::{NodeId, VertexId};
+use crate::primes::{is_prime, mod_inverse};
+
+/// The virtual graph `Z(p)` for a prime `p ≥ 5`.
+///
+/// The structure is implicit (O(1) memory): neighbors and inverses are
+/// computed arithmetically, which is exactly what lets every DEX node "know"
+/// the whole virtual graph without storing it (paper, Sect. 4.2.1).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct PCycle {
+    p: u64,
+}
+
+impl PCycle {
+    /// Build `Z(p)`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not a prime `≥ 5` (smaller primes degenerate: the
+    /// cycle and chord edge sets collide).
+    pub fn new(p: u64) -> Self {
+        assert!(p >= 5, "p-cycle needs p >= 5, got {p}");
+        assert!(is_prime(p), "p-cycle needs prime p, got {p}");
+        PCycle { p }
+    }
+
+    /// The prime `p` (also the number of vertices).
+    #[inline]
+    pub fn p(&self) -> u64 {
+        self.p
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> u64 {
+        self.p
+    }
+
+    /// Is `z` a vertex of this cycle?
+    #[inline]
+    pub fn contains(&self, z: VertexId) -> bool {
+        z.0 < self.p
+    }
+
+    /// Successor on the cycle: `x + 1 mod p`.
+    #[inline]
+    pub fn succ(&self, z: VertexId) -> VertexId {
+        VertexId((z.0 + 1) % self.p)
+    }
+
+    /// Predecessor on the cycle: `x − 1 mod p`.
+    #[inline]
+    pub fn pred(&self, z: VertexId) -> VertexId {
+        VertexId((z.0 + self.p - 1) % self.p)
+    }
+
+    /// Chord partner: `x⁻¹ mod p` for `x > 0`, and 0 for `x = 0` (the
+    /// self-loop of Definition 1). Self-inverse vertices (1 and `p−1`)
+    /// return themselves.
+    #[inline]
+    pub fn chord(&self, z: VertexId) -> VertexId {
+        if z.0 == 0 {
+            VertexId(0)
+        } else {
+            VertexId(mod_inverse(z.0, self.p))
+        }
+    }
+
+    /// The three neighbors `[succ, pred, chord]` of `z` (chord may equal
+    /// `z` itself for the self-loop vertices 0, 1, `p−1`).
+    #[inline]
+    pub fn neighbors(&self, z: VertexId) -> [VertexId; 3] {
+        [self.succ(z), self.pred(z), self.chord(z)]
+    }
+
+    /// Are `a` and `b` adjacent in `Z(p)`? (Self-loops: `adjacent(z, z)` is
+    /// true exactly for z ∈ {0, 1, p−1}.)
+    pub fn adjacent(&self, a: VertexId, b: VertexId) -> bool {
+        self.neighbors(a).contains(&b)
+    }
+
+    /// All undirected edges, each exactly once (self-loops included once).
+    /// `p` cycle edges, `(p−3)/2` chords, 3 self-loops.
+    pub fn edges(&self) -> Vec<(VertexId, VertexId)> {
+        let p = self.p;
+        let mut out = Vec::with_capacity(p as usize + (p as usize - 3) / 2 + 3);
+        for x in 0..p {
+            out.push((VertexId(x), VertexId((x + 1) % p)));
+        }
+        out.push((VertexId(0), VertexId(0)));
+        for x in 1..p {
+            let inv = mod_inverse(x, p);
+            if inv >= x {
+                out.push((VertexId(x), VertexId(inv)));
+            }
+        }
+        out
+    }
+
+    /// Materialize `Z(p)` as a [`MultiGraph`] whose node ids are the raw
+    /// vertex values. Used by spectral tests and the Figure-1 harness.
+    pub fn to_multigraph(&self) -> MultiGraph {
+        let mut g = MultiGraph::with_capacity(self.p as usize);
+        for x in 0..self.p {
+            g.add_node(NodeId(x));
+        }
+        for (a, b) in self.edges() {
+            g.add_edge(NodeId(a.0), NodeId(b.0));
+        }
+        g
+    }
+
+    /// BFS distances from `src` to every vertex. O(p) time/space.
+    pub fn bfs_distances(&self, src: VertexId) -> Vec<u32> {
+        let p = self.p as usize;
+        let mut dist = vec![u32::MAX; p];
+        let mut queue = std::collections::VecDeque::with_capacity(p);
+        dist[src.0 as usize] = 0;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.0 as usize];
+            for v in self.neighbors(u) {
+                let dv = &mut dist[v.0 as usize];
+                if *dv == u32::MAX {
+                    *dv = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// BFS parent array oriented *toward* `target`: following
+    /// `parent[x]` repeatedly reaches `target` along a shortest path.
+    /// `parent[target] == target`.
+    pub fn bfs_parents_toward(&self, target: VertexId) -> Vec<u32> {
+        let p = self.p as usize;
+        let mut parent = vec![u32::MAX; p];
+        let mut queue = std::collections::VecDeque::with_capacity(p);
+        parent[target.0 as usize] = target.0 as u32;
+        queue.push_back(target);
+        while let Some(u) = queue.pop_front() {
+            for v in self.neighbors(u) {
+                let pv = &mut parent[v.0 as usize];
+                if *pv == u32::MAX {
+                    *pv = u.0 as u32;
+                    queue.push_back(v);
+                }
+            }
+        }
+        parent
+    }
+
+    /// Shortest path from `from` to `to` (inclusive of both endpoints).
+    pub fn shortest_path(&self, from: VertexId, to: VertexId) -> Vec<VertexId> {
+        let parent = self.bfs_parents_toward(to);
+        let mut path = vec![from];
+        let mut cur = from;
+        while cur != to {
+            cur = VertexId(parent[cur.0 as usize] as u64);
+            path.push(cur);
+        }
+        path
+    }
+
+    /// Graph distance between two vertices.
+    pub fn distance(&self, a: VertexId, b: VertexId) -> u32 {
+        self.bfs_distances(a)[b.0 as usize]
+    }
+
+    /// Exact diameter by all-pairs BFS — O(p²); use for small `p`
+    /// (tests and the Figure-1 harness only).
+    pub fn diameter(&self) -> u32 {
+        (0..self.p)
+            .map(|x| {
+                *self
+                    .bfs_distances(VertexId(x))
+                    .iter()
+                    .max()
+                    .expect("nonempty")
+            })
+            .max()
+            .expect("nonempty")
+    }
+}
+
+impl std::fmt::Debug for PCycle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Z({})", self.p)
+    }
+}
+
+/// Caching next-hop oracle for routing on a fixed `Z(p)`.
+///
+/// Local routing in DEX ("node v can locally compute a shortest path in the
+/// virtual graph", Sect. 4.4) is free in the model; this cache keeps the
+/// *simulator* cost manageable by memoizing one BFS tree per routing target.
+pub struct PathOracle {
+    cycle: PCycle,
+    toward: FxHashMap<u64, Box<[u32]>>,
+}
+
+impl PathOracle {
+    /// New oracle for `cycle`.
+    pub fn new(cycle: PCycle) -> Self {
+        PathOracle {
+            cycle,
+            toward: FxHashMap::default(),
+        }
+    }
+
+    /// The cycle this oracle routes on.
+    pub fn cycle(&self) -> PCycle {
+        self.cycle
+    }
+
+    /// Next hop on a shortest path `from → to`; `None` if already there.
+    pub fn next_hop(&mut self, from: VertexId, to: VertexId) -> Option<VertexId> {
+        if from == to {
+            return None;
+        }
+        let parents = self
+            .toward
+            .entry(to.0)
+            .or_insert_with(|| self.cycle.bfs_parents_toward(to).into_boxed_slice());
+        Some(VertexId(parents[from.0 as usize] as u64))
+    }
+
+    /// Distance `from → to` (hops along the cached tree).
+    pub fn distance(&mut self, from: VertexId, to: VertexId) -> u32 {
+        let mut d = 0;
+        let mut cur = from;
+        while let Some(next) = self.next_hop(cur, to) {
+            cur = next;
+            d += 1;
+        }
+        d
+    }
+}
+
+/// Pure arithmetic of p-cycle inflation and deflation (paper Eq. 6–8 and
+/// Sect. 4.2.2). All functions are total and deterministic; the protocol
+/// crates call these to compute clouds locally.
+pub mod resize {
+    /// `⌈a·x / b⌉` in integer arithmetic (no floats — the paper's `α = p₊/p`
+    /// is rational and float rounding would break the bijection proofs).
+    #[inline]
+    fn ceil_mul_div(x: u64, a: u64, b: u64) -> u64 {
+        ((x as u128) * (a as u128)).div_ceil(b as u128) as u64
+    }
+
+    /// `⌊a·x / b⌋` in integer arithmetic.
+    #[inline]
+    fn floor_mul_div(x: u64, a: u64, b: u64) -> u64 {
+        (((x as u128) * (a as u128)) / (b as u128)) as u64
+    }
+
+    /// Inflation cloud size helper `c(x) = ⌈α(x+1)⌉ − ⌈αx⌉ − 1` (Eq. 6)
+    /// where `α = p_new / p_old`.
+    pub fn inflation_c(x: u64, p_old: u64, p_new: u64) -> u64 {
+        ceil_mul_div(x + 1, p_new, p_old) - ceil_mul_div(x, p_new, p_old) - 1
+    }
+
+    /// The inflation cloud of old vertex `x`: new vertices
+    /// `y_j = (⌈αx⌉ + j) mod p_new` for `0 ≤ j ≤ c(x)` (Eq. 7).
+    ///
+    /// Lemma 4(b): over all `x ∈ Z_{p_old}` these clouds partition
+    /// `Z_{p_new}` (a bijection between ⋃ clouds and `Z_{p_new}`), with
+    /// cloud size ≤ ζ = 8 because `α < 8`.
+    pub fn inflation_cloud(x: u64, p_old: u64, p_new: u64) -> Vec<u64> {
+        let base = ceil_mul_div(x, p_new, p_old);
+        let c = inflation_c(x, p_old, p_new);
+        (0..=c).map(|j| (base + j) % p_new).collect()
+    }
+
+    /// Inverse of [`inflation_cloud`]: the old vertex whose cloud contains
+    /// new vertex `y`. Clouds are the consecutive ranges
+    /// `[⌈αx⌉, ⌈α(x+1)⌉)`, so the source is `⌊y·p_old/p_new⌋` (the
+    /// boundary case `y = αx` cannot occur for coprime primes unless
+    /// `x = 0`, where the formula is still right).
+    pub fn inflation_source(y: u64, p_old: u64, p_new: u64) -> u64 {
+        floor_mul_div(y, p_old, p_new)
+    }
+
+    /// Deflation image `y_x = ⌊x / α⌋ = ⌊x · p_new / p_old⌋` with
+    /// `α = p_old / p_new` (Sect. 4.2.2).
+    pub fn deflation_image(x: u64, p_old: u64, p_new: u64) -> u64 {
+        floor_mul_div(x, p_new, p_old)
+    }
+
+    /// Is old vertex `x` *dominating*, i.e. the smallest preimage of its
+    /// deflation image? Dominating vertices are the ones that survive into
+    /// the smaller cycle (the node simulating one is guaranteed a vertex).
+    pub fn is_dominating(x: u64, p_old: u64, p_new: u64) -> bool {
+        x == 0 || deflation_image(x - 1, p_old, p_new) != deflation_image(x, p_old, p_new)
+    }
+
+    /// The deflation cloud (preimage) of new vertex `y`: the contiguous old
+    /// vertices `x` with `⌊x/α⌋ = y`, i.e. `⌈yα⌉ ≤ x < ⌈(y+1)α⌉` clipped to
+    /// `Z_{p_old}`.
+    pub fn deflation_cloud(y: u64, p_old: u64, p_new: u64) -> std::ops::Range<u64> {
+        let lo = ceil_mul_div(y, p_old, p_new);
+        let hi = ceil_mul_div(y + 1, p_old, p_new).min(p_old);
+        lo..hi
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::primes::{deflation_prime, inflation_prime};
+
+        #[test]
+        fn inflation_clouds_partition_new_cycle() {
+            for p_old in [5u64, 23, 37, 101] {
+                let p_new = inflation_prime(p_old);
+                let mut seen = vec![false; p_new as usize];
+                let mut max_cloud = 0;
+                for x in 0..p_old {
+                    let cloud = inflation_cloud(x, p_old, p_new);
+                    assert!(!cloud.is_empty());
+                    max_cloud = max_cloud.max(cloud.len());
+                    for y in cloud {
+                        assert!(
+                            !seen[y as usize],
+                            "vertex {y} generated twice (p {p_old}->{p_new})"
+                        );
+                        seen[y as usize] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "not surjective onto Z_{p_new}");
+                assert!(max_cloud <= 8, "cloud size {max_cloud} exceeds ζ=8");
+            }
+        }
+
+        #[test]
+        fn inflation_source_inverts_cloud() {
+            for p_old in [5u64, 23, 101] {
+                let p_new = inflation_prime(p_old);
+                for x in 0..p_old {
+                    for y in inflation_cloud(x, p_old, p_new) {
+                        assert_eq!(
+                            inflation_source(y, p_old, p_new),
+                            x,
+                            "y={y} p {p_old}->{p_new}"
+                        );
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn inflation_cloud_is_contiguous_mod_p() {
+            let (p_old, p_new) = (23u64, inflation_prime(23));
+            for x in 0..p_old {
+                let cloud = inflation_cloud(x, p_old, p_new);
+                for w in cloud.windows(2) {
+                    assert_eq!((w[0] + 1) % p_new, w[1]);
+                }
+            }
+        }
+
+        #[test]
+        fn deflation_surjective_with_unique_dominators() {
+            for p_old in [101u64, 499, 1009] {
+                let p_new = deflation_prime(p_old).unwrap();
+                let mut dominated = vec![0usize; p_new as usize];
+                for x in 0..p_old {
+                    if is_dominating(x, p_old, p_new) {
+                        dominated[deflation_image(x, p_old, p_new) as usize] += 1;
+                    }
+                }
+                assert!(
+                    dominated.iter().all(|&c| c == 1),
+                    "each new vertex needs exactly one dominator"
+                );
+            }
+        }
+
+        #[test]
+        fn deflation_clouds_cover_old_cycle() {
+            let p_old = 499u64;
+            let p_new = deflation_prime(p_old).unwrap();
+            let mut covered = vec![false; p_old as usize];
+            let mut max_cloud = 0usize;
+            for y in 0..p_new {
+                let r = deflation_cloud(y, p_old, p_new);
+                max_cloud = max_cloud.max((r.end - r.start) as usize);
+                for x in r {
+                    assert!(!covered[x as usize]);
+                    covered[x as usize] = true;
+                    assert_eq!(deflation_image(x, p_old, p_new), y);
+                }
+            }
+            assert!(covered.iter().all(|&c| c));
+            // α = p_old/p_new < 8 ⇒ preimages have ≤ 8 elements.
+            assert!(max_cloud <= 8, "deflation cloud {max_cloud} > 8");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_vertex_has_degree_three() {
+        for p in [5u64, 7, 23, 101] {
+            let g = PCycle::new(p).to_multigraph();
+            for u in g.nodes() {
+                assert_eq!(g.degree(u), 3, "vertex {u} of Z({p})");
+            }
+            g.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn edge_count_formula() {
+        for p in [5u64, 23, 101] {
+            let z = PCycle::new(p);
+            // p cycle edges + (p-3)/2 chords + 3 self-loops
+            let expected = p as usize + (p as usize - 3) / 2 + 3;
+            assert_eq!(z.edges().len(), expected);
+            assert_eq!(z.to_multigraph().num_edges(), expected);
+        }
+    }
+
+    #[test]
+    fn self_loops_exactly_at_0_1_pm1() {
+        let p = 23u64;
+        let z = PCycle::new(p);
+        for x in 0..p {
+            let v = VertexId(x);
+            let has_loop = z.adjacent(v, v);
+            let expect = x == 0 || x == 1 || x == p - 1;
+            assert_eq!(has_loop, expect, "vertex {x}");
+        }
+    }
+
+    #[test]
+    fn figure1_23_cycle_chords() {
+        // Sanity against Figure 1: in Z(23), 2·12 = 24 ≡ 1, so 2 ↔ 12.
+        let z = PCycle::new(23);
+        assert_eq!(z.chord(VertexId(2)), VertexId(12));
+        assert_eq!(z.chord(VertexId(12)), VertexId(2));
+        assert!(z.adjacent(VertexId(2), VertexId(12)));
+        assert_eq!(z.chord(VertexId(5)), VertexId(14)); // 5·14 = 70 = 3·23+1
+    }
+
+    #[test]
+    fn neighbors_symmetric() {
+        let z = PCycle::new(37);
+        for x in 0..37 {
+            let v = VertexId(x);
+            for w in z.neighbors(v) {
+                assert!(z.adjacent(w, v), "asymmetric adjacency {v} {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_and_paths() {
+        let z = PCycle::new(23);
+        let d = z.bfs_distances(VertexId(0));
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[22], 1);
+        let path = z.shortest_path(VertexId(7), VertexId(0));
+        assert_eq!(*path.first().unwrap(), VertexId(7));
+        assert_eq!(*path.last().unwrap(), VertexId(0));
+        assert_eq!(path.len() as u32 - 1, z.distance(VertexId(7), VertexId(0)));
+        // every consecutive pair is an edge
+        for w in path.windows(2) {
+            assert!(z.adjacent(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn diameter_is_logarithmic() {
+        // Expander: diameter should be O(log p). Spot-check concrete values.
+        assert!(PCycle::new(23).diameter() <= 6);
+        assert!(PCycle::new(101).diameter() <= 10);
+        assert!(PCycle::new(499).diameter() <= 14);
+    }
+
+    #[test]
+    fn path_oracle_matches_bfs() {
+        let z = PCycle::new(101);
+        let mut oracle = PathOracle::new(z);
+        for (a, b) in [(0u64, 50), (7, 93), (13, 13), (100, 1)] {
+            let (a, b) = (VertexId(a), VertexId(b));
+            assert_eq!(oracle.distance(a, b), z.distance(a, b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prime")]
+    fn rejects_composite() {
+        PCycle::new(21);
+    }
+}

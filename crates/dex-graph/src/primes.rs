@@ -1,0 +1,199 @@
+//! Primality testing and Bertrand-range prime search.
+//!
+//! DEX sizes its virtual p-cycle with a prime `p`: the initial cycle uses the
+//! smallest prime in `(4n₀, 8n₀)`, inflation moves to the smallest prime in
+//! `(4pᵢ, 8pᵢ)`, and deflation to one in `(pᵢ/8, pᵢ/4)` (Sect. 4). Bertrand's
+//! postulate guarantees such primes exist. We use a deterministic
+//! Miller–Rabin test that is exact for all `u64` inputs.
+
+/// Deterministic Miller–Rabin for `u64`.
+///
+/// Uses the base set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}`, proven
+/// sufficient for all `n < 3.3 · 10²⁴` (Sorenson & Webster), which covers the
+/// full `u64` range.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    // n - 1 = d · 2^s with d odd
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        s += 1;
+    }
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = mod_pow(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mod_mul(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// `(a * b) mod m` without overflow.
+#[inline]
+pub fn mod_mul(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// `(base ^ exp) mod m` by square-and-multiply. `m` must be nonzero.
+pub fn mod_pow(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    debug_assert!(m > 0);
+    if m == 1 {
+        return 0;
+    }
+    let mut acc = 1u64;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mod_mul(acc, base, m);
+        }
+        base = mod_mul(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Multiplicative inverse of `x` modulo prime `p` via Fermat's little
+/// theorem: `x⁻¹ = x^(p−2) mod p`.
+///
+/// # Panics
+/// Panics if `x % p == 0` (zero has no inverse).
+pub fn mod_inverse(x: u64, p: u64) -> u64 {
+    assert!(!x.is_multiple_of(p), "0 has no inverse mod {p}");
+    mod_pow(x, p - 2, p)
+}
+
+/// Smallest prime strictly inside the open interval `(lo, hi)`, or `None`.
+pub fn smallest_prime_in(lo: u64, hi: u64) -> Option<u64> {
+    let mut c = lo + 1;
+    if c <= 2 {
+        if 2 < hi {
+            return Some(2);
+        }
+        c = 3;
+    }
+    if c.is_multiple_of(2) {
+        c += 1;
+    }
+    while c < hi {
+        if is_prime(c) {
+            return Some(c);
+        }
+        c += 2;
+    }
+    None
+}
+
+/// Smallest prime in the inflation range `(4p, 8p)` (paper, Sect. 4.2.1).
+/// Always exists for `p ≥ 1` by Bertrand's postulate.
+pub fn inflation_prime(p: u64) -> u64 {
+    smallest_prime_in(4 * p, 8 * p).expect("Bertrand guarantees a prime in (4p, 8p)")
+}
+
+/// Smallest prime in the deflation range `(p/8, p/4)` (paper, Sect. 4.2.2),
+/// or `None` if the interval contains no prime (only possible for tiny `p`).
+pub fn deflation_prime(p: u64) -> Option<u64> {
+    smallest_prime_in(p / 8, p / 4)
+}
+
+/// Smallest prime in `(4n, 8n)` used for the initial p-cycle `Z₀(p₀)`.
+pub fn initial_prime(n0: u64) -> u64 {
+    smallest_prime_in(4 * n0, 8 * n0).expect("Bertrand guarantees a prime in (4n, 8n)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let primes: Vec<u64> = (0..100).filter(|&n| is_prime(n)).collect();
+        assert_eq!(
+            primes,
+            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73,
+                 79, 83, 89, 97]
+        );
+    }
+
+    #[test]
+    fn large_known_primes_and_composites() {
+        assert!(is_prime(2_147_483_647)); // 2^31 - 1 (Mersenne)
+        assert!(is_prime(1_000_000_007));
+        assert!(!is_prime(1_000_000_007u64 * 3));
+        // Carmichael numbers must be rejected.
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 62745, 162401] {
+            assert!(!is_prime(c), "{c} is Carmichael, not prime");
+        }
+        // Strong pseudoprime to base 2.
+        assert!(!is_prime(3_215_031_751));
+    }
+
+    #[test]
+    fn mod_pow_matches_naive() {
+        for base in 1u64..20 {
+            for exp in 0u64..12 {
+                let m = 1_000_003;
+                let naive = (0..exp).fold(1u64, |acc, _| acc * base % m);
+                assert_eq!(mod_pow(base, exp, m), naive);
+            }
+        }
+    }
+
+    #[test]
+    fn mod_inverse_is_inverse() {
+        for p in [23u64, 101, 65537, 1_000_000_007] {
+            for x in [1u64, 2, 5, 17, p - 1] {
+                let inv = mod_inverse(x, p);
+                assert_eq!(mod_mul(x, inv, p), 1, "x={x} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn prime_ranges() {
+        assert_eq!(smallest_prime_in(10, 20), Some(11));
+        assert_eq!(smallest_prime_in(23, 29), None); // open interval: (23,29) has no prime
+        assert_eq!(smallest_prime_in(0, 3), Some(2));
+        assert_eq!(smallest_prime_in(2, 3), None);
+    }
+
+    #[test]
+    fn paper_figure_prime() {
+        // Figure 1 uses the 23-cycle; 23 is the smallest prime in (4·5, 8·5).
+        assert_eq!(initial_prime(5), 23);
+    }
+
+    #[test]
+    fn inflation_chain_grows_geometrically() {
+        let mut p = initial_prime(8);
+        for _ in 0..8 {
+            let q = inflation_prime(p);
+            assert!(q > 4 * p && q < 8 * p, "p={p} q={q}");
+            p = q;
+        }
+    }
+
+    #[test]
+    fn deflation_inverts_inflation_range() {
+        let p = 1009u64;
+        let q = deflation_prime(p).unwrap();
+        assert!(q > p / 8 && q < p / 4, "p={p} q={q}");
+    }
+}

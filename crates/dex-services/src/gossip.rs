@@ -1,0 +1,119 @@
+//! Push–pull gossip (rumor spreading).
+//!
+//! On a constant-gap expander, push–pull gossip informs all n nodes in
+//! O(log n) rounds w.h.p. — one of the "many randomized protocols" the
+//! paper's sampling motivation refers to. Each round, every node picks a
+//! uniform neighbor; informed nodes push the rumor, uninformed nodes pull
+//! it if the partner is informed.
+
+use dex_core::DexNetwork;
+use dex_graph::fxhash::FxHashSet;
+use dex_graph::ids::NodeId;
+use rand::Rng;
+
+/// Outcome of a gossip dissemination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GossipOutcome {
+    /// Rounds until every node was informed (or the cap).
+    pub rounds: u64,
+    /// Total messages exchanged.
+    pub messages: u64,
+    /// Whether everyone was informed within the cap.
+    pub complete: bool,
+}
+
+/// Spread a rumor from `source` by synchronous push–pull; at most
+/// `max_rounds` rounds. Costs are charged to the network meter.
+pub fn push_pull<R: Rng + ?Sized>(
+    net: &mut DexNetwork,
+    source: NodeId,
+    max_rounds: u64,
+    rng: &mut R,
+) -> GossipOutcome {
+    let g = net.net.graph();
+    let nodes = g.nodes_sorted();
+    let n = nodes.len();
+    let mut informed: FxHashSet<NodeId> = FxHashSet::default();
+    informed.insert(source);
+    let mut rounds = 0u64;
+    let mut messages = 0u64;
+    while informed.len() < n && rounds < max_rounds {
+        rounds += 1;
+        let mut newly: Vec<NodeId> = Vec::new();
+        for &u in &nodes {
+            let nbrs = g.neighbors(u);
+            if nbrs.is_empty() {
+                continue;
+            }
+            let partner = nbrs[rng.random_range(0..nbrs.len())];
+            messages += 1; // the exchange
+            match (informed.contains(&u), informed.contains(&partner)) {
+                (true, false) => newly.push(partner), // push
+                (false, true) => newly.push(u),       // pull
+                _ => {}
+            }
+        }
+        for u in newly {
+            informed.insert(u);
+        }
+    }
+    net.net.charge_rounds(rounds);
+    net.net.charge_messages(messages);
+    GossipOutcome {
+        rounds,
+        messages,
+        complete: informed.len() == n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::network;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gossip_completes_in_log_rounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut all_rounds = Vec::new();
+        for n in [32u64, 128, 512] {
+            let mut net = network(n, 2);
+            let src = net.node_ids()[0];
+            net.net.begin_step();
+            let out = push_pull(&mut net, src, 200, &mut rng);
+            net.net
+                .end_step(dex_sim::StepKind::Insert, dex_sim::RecoveryKind::Type1);
+            assert!(out.complete, "gossip incomplete at n={n}");
+            all_rounds.push(out.rounds);
+        }
+        // Logarithmic growth: 16× nodes adds a few rounds, not 16×.
+        assert!(
+            all_rounds[2] <= all_rounds[0] * 3 + 6,
+            "gossip rounds not logarithmic: {all_rounds:?}"
+        );
+    }
+
+    #[test]
+    fn gossip_still_fast_after_churn() {
+        let mut net = network(64, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        // Churn, then gossip.
+        for i in 0..200u64 {
+            let live = net.node_ids();
+            if i % 2 == 0 {
+                let id = net.fresh_node_id();
+                net.insert(id, live[(i as usize) % live.len()]);
+            } else {
+                net.delete(live[(i as usize * 7) % live.len()]);
+            }
+        }
+        let src = net.node_ids()[0];
+        net.net.begin_step();
+        let out = push_pull(&mut net, src, 100, &mut rng);
+        net.net
+            .end_step(dex_sim::StepKind::Insert, dex_sim::RecoveryKind::Type1);
+        assert!(out.complete);
+        assert!(out.rounds <= 40, "gossip took {} rounds", out.rounds);
+    }
+}

@@ -1,0 +1,36 @@
+//! Overlay services on top of a DEX-maintained expander.
+//!
+//! The paper motivates expander overlays by the services they enable
+//! (Sect. 1): low-latency communication for all messages, the ability to
+//! "quickly sample a random node in the network (enabling many randomized
+//! protocols)", robustness to failures, and fault-tolerant multi-path
+//! routing. This crate implements those services *against the maintained
+//! network*, metering their cost through the same CONGEST accounting as
+//! the maintenance algorithm:
+//!
+//! * [`sampling`] — near-uniform node sampling by Metropolis–Hastings
+//!   random walks (O(log n) rounds per sample on an expander);
+//! * [`broadcast`] — flooding broadcast reaching all nodes in
+//!   diameter = O(log n) rounds;
+//! * [`gossip`] — push–pull rumor spreading, complete in O(log n) rounds
+//!   on an expander;
+//! * [`multipath`] — redundant walk-based routing that survives node
+//!   crashes (the "robust to a limited number of failures" promise).
+//!
+//! Every service works during churn and during type-2 recovery — the
+//! whole point of DEX is that these properties never lapse.
+
+pub mod broadcast;
+pub mod gossip;
+pub mod multipath;
+pub mod sampling;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use dex_core::{DexConfig, DexNetwork};
+
+    /// A DEX network of roughly `n` nodes for service tests.
+    pub fn network(n: u64, seed: u64) -> DexNetwork {
+        DexNetwork::bootstrap(DexConfig::new(seed).simplified(), n)
+    }
+}

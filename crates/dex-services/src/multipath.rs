@@ -1,0 +1,182 @@
+//! Fault-tolerant multipath delivery.
+//!
+//! Expanders provide many short, largely disjoint paths between any two
+//! nodes — the "robust to a limited number of failures" and
+//! "fault-tolerant multi-path routing" motivations. We implement the
+//! simplest robust scheme: send `k` copies along independent random walks
+//! that are *biased toward the target's vertices* once close (walk until
+//! a node adjacent to the target is reached, then hop over). Crashed
+//! nodes (a failure set unknown to the sender) silently drop copies;
+//! delivery succeeds if any copy arrives.
+
+use dex_core::DexNetwork;
+use dex_graph::fxhash::FxHashSet;
+use dex_graph::ids::NodeId;
+use rand::Rng;
+
+/// Outcome of a multipath send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultipathOutcome {
+    /// Copies that reached the target.
+    pub delivered: u32,
+    /// Total hops consumed by all copies (= messages).
+    pub hops: u64,
+}
+
+/// Send `k` copies from `src` to `dst`, each as an independent random
+/// walk of at most `budget` hops that stops on arrival. Nodes in
+/// `crashed` are unresponsive: a carrier probing a dead neighbor pays the
+/// probe message and reroutes to a live one (dying only if *all* its
+/// neighbors are dead). Charges hops as messages and the max walk length
+/// as rounds (copies travel in parallel).
+pub fn send_multipath<R: Rng + ?Sized>(
+    net: &mut DexNetwork,
+    src: NodeId,
+    dst: NodeId,
+    k: u32,
+    budget: u64,
+    crashed: &FxHashSet<NodeId>,
+    rng: &mut R,
+) -> MultipathOutcome {
+    let g = net.net.graph();
+    let mut delivered = 0u32;
+    let mut total_hops = 0u64;
+    let mut max_len = 0u64;
+    for _ in 0..k {
+        let mut cur = src;
+        let mut len = 0u64;
+        while len < budget && cur != dst {
+            if g.contains_edge(cur, dst) && !crashed.contains(&dst) {
+                // Final hop straight to the target.
+                len += 1;
+                total_hops += 1;
+                cur = dst;
+                break;
+            }
+            // Uniform live neighbor; each dead probe costs one message.
+            let nbrs = g.neighbors(cur);
+            let live: Vec<NodeId> = nbrs
+                .iter()
+                .copied()
+                .filter(|w| !crashed.contains(w))
+                .collect();
+            total_hops += (nbrs.len() - live.len()) as u64 / 4; // amortized probes
+            if live.is_empty() {
+                break; // fully isolated — copy lost
+            }
+            let next = live[rng.random_range(0..live.len())];
+            len += 1;
+            total_hops += 1;
+            cur = next;
+        }
+        if cur == dst {
+            delivered += 1;
+        }
+        max_len = max_len.max(len);
+    }
+    net.net.charge_rounds(max_len);
+    net.net.charge_messages(total_hops);
+    MultipathOutcome {
+        delivered,
+        hops: total_hops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::network;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_copy_usually_arrives() {
+        let mut net = network(64, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let ids = net.node_ids();
+        let (src, dst) = (ids[0], ids[40]);
+        let budget = 40 * 8;
+        let mut ok = 0;
+        net.net.begin_step();
+        for _ in 0..50 {
+            let out = send_multipath(&mut net, src, dst, 1, budget, &Default::default(), &mut rng);
+            if out.delivered > 0 {
+                ok += 1;
+            }
+        }
+        net.net
+            .end_step(dex_sim::StepKind::Insert, dex_sim::RecoveryKind::Type1);
+        assert!(ok >= 40, "only {ok}/50 single copies arrived");
+    }
+
+    #[test]
+    fn redundancy_beats_crashes() {
+        let mut net = network(64, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let ids = net.node_ids();
+        let (src, dst) = (ids[1], ids[50]);
+        // Crash 20% of nodes (not src/dst); tight budget so single copies
+        // often time out while redundancy still gets through.
+        let crashed: FxHashSet<NodeId> = ids
+            .iter()
+            .copied()
+            .filter(|&u| u != src && u != dst && u.0 % 5 == 3)
+            .collect();
+        let budget = 48;
+        let mut ok_k1 = 0;
+        let mut ok_k4 = 0;
+        net.net.begin_step();
+        for _ in 0..60 {
+            if send_multipath(&mut net, src, dst, 1, budget, &crashed, &mut rng).delivered > 0 {
+                ok_k1 += 1;
+            }
+            if send_multipath(&mut net, src, dst, 4, budget, &crashed, &mut rng).delivered > 0 {
+                ok_k4 += 1;
+            }
+        }
+        net.net
+            .end_step(dex_sim::StepKind::Insert, dex_sim::RecoveryKind::Type1);
+        assert!(
+            ok_k4 > ok_k1,
+            "k=4 ({ok_k4}) should beat k=1 ({ok_k1}) under crashes"
+        );
+        assert!(ok_k4 >= 50, "k=4 delivered only {ok_k4}/60");
+    }
+
+    #[test]
+    fn works_during_type2_recovery() {
+        // Grow until a staggered inflation is mid-flight, then deliver.
+        let mut net = dex_core::DexNetwork::bootstrap(
+            dex_core::DexConfig::new(5).staggered(),
+            8,
+        );
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut in_type2 = false;
+        for _ in 0..3000 {
+            let id = net.fresh_node_id();
+            let live = net.node_ids();
+            net.insert(id, live[rng.random_range(0..live.len())]);
+            if net.type2_in_progress() {
+                in_type2 = true;
+                break;
+            }
+        }
+        assert!(in_type2, "never entered a staggered operation");
+        let ids = net.node_ids();
+        let (src, dst) = (ids[0], ids[ids.len() - 1]);
+        let budget = net.cfg.walk_len(net.cycle.p()) * 8;
+        net.net.begin_step();
+        let out = send_multipath(
+            &mut net,
+            src,
+            dst,
+            4,
+            budget,
+            &Default::default(),
+            &mut rng,
+        );
+        net.net
+            .end_step(dex_sim::StepKind::Insert, dex_sim::RecoveryKind::Type1);
+        assert!(out.delivered > 0, "no copy arrived during type-2");
+    }
+}

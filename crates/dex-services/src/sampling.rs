@@ -1,0 +1,150 @@
+//! Near-uniform node sampling (the paper's "quickly sample a random node"
+//! motivation).
+//!
+//! A plain random walk on the network samples from the degree-stationary
+//! distribution π(u) ∝ deg(u) — biased by up to the 4ζ load spread. The
+//! **Metropolis–Hastings** correction (propose a uniform neighbor, accept
+//! with probability min(1, deg(u)/deg(v)), else hold) makes the uniform
+//! distribution stationary while keeping O(log n) mixing on an expander.
+
+use dex_core::DexNetwork;
+use dex_graph::ids::NodeId;
+use rand::Rng;
+
+/// Cost of one sampling operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleCost {
+    /// Walk steps (= rounds = messages charged).
+    pub steps: u64,
+}
+
+/// Walk length used for sampling: ℓ·⌈log₂ p⌉ with the network's
+/// configured ℓ (the same mixing budget as type-1 recovery).
+pub fn walk_length(net: &DexNetwork) -> u64 {
+    net.cfg.walk_len(net.cycle.p())
+}
+
+/// Sample from the degree-stationary distribution: a plain random walk of
+/// [`walk_length`] steps from `from`. Cheapest, but biased toward
+/// high-load nodes (≤ 4ζ× uniform).
+pub fn stationary_sample<R: Rng + ?Sized>(
+    net: &mut DexNetwork,
+    from: NodeId,
+    rng: &mut R,
+) -> (NodeId, SampleCost) {
+    let len = walk_length(net);
+    let mut cur = from;
+    for _ in 0..len {
+        let nbrs = net.net.graph().neighbors(cur);
+        cur = nbrs[rng.random_range(0..nbrs.len())];
+    }
+    net.net.charge_rounds(len);
+    net.net.charge_messages(len);
+    (cur, SampleCost { steps: len })
+}
+
+/// Sample (approximately) uniformly: a Metropolis–Hastings walk of
+/// 2·[`walk_length`] steps (the MH chain is lazier, so we give it double
+/// the budget). Each step sends one proposal message; holds are free.
+pub fn uniform_sample<R: Rng + ?Sized>(
+    net: &mut DexNetwork,
+    from: NodeId,
+    rng: &mut R,
+) -> (NodeId, SampleCost) {
+    let len = 2 * walk_length(net);
+    let mut cur = from;
+    let mut messages = 0u64;
+    for _ in 0..len {
+        let g = net.net.graph();
+        let nbrs = g.neighbors(cur);
+        let cand = nbrs[rng.random_range(0..nbrs.len())];
+        messages += 1;
+        if cand == cur {
+            continue;
+        }
+        let accept = g.degree(cur) as f64 / g.degree(cand) as f64;
+        if accept >= 1.0 || rng.random_bool(accept.clamp(0.0, 1.0)) {
+            cur = cand;
+        }
+    }
+    net.net.charge_rounds(len);
+    net.net.charge_messages(messages);
+    (cur, SampleCost { steps: len })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::network;
+    use dex_graph::fxhash::FxHashMap;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frequency_spread(counts: &FxHashMap<NodeId, usize>, n: usize, samples: usize) -> f64 {
+        let expect = samples as f64 / n as f64;
+        let max = counts.values().copied().max().unwrap_or(0) as f64;
+        max / expect
+    }
+
+    #[test]
+    fn uniform_sampling_is_nearly_uniform() {
+        let mut net = network(32, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let from = net.node_ids()[0];
+        let samples = 6000;
+        let mut counts: FxHashMap<NodeId, usize> = FxHashMap::default();
+        net.net.begin_step();
+        for _ in 0..samples {
+            let (u, _) = uniform_sample(&mut net, from, &mut rng);
+            *counts.entry(u).or_insert(0) += 1;
+        }
+        net.net
+            .end_step(dex_sim::StepKind::Insert, dex_sim::RecoveryKind::Type1);
+        assert_eq!(counts.len(), 32, "every node must be reachable");
+        let spread = frequency_spread(&counts, 32, samples);
+        assert!(spread < 1.8, "max/expected frequency {spread}");
+    }
+
+    #[test]
+    fn stationary_sampling_is_degree_biased() {
+        // Sanity check that the uncorrected walk is *visibly* biased,
+        // which is why Metropolis–Hastings is worth its cost.
+        let mut net = network(24, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let from = net.node_ids()[0];
+        let mut counts: FxHashMap<NodeId, usize> = FxHashMap::default();
+        net.net.begin_step();
+        for _ in 0..6000 {
+            let (u, _) = stationary_sample(&mut net, from, &mut rng);
+            *counts.entry(u).or_insert(0) += 1;
+        }
+        net.net
+            .end_step(dex_sim::StepKind::Insert, dex_sim::RecoveryKind::Type1);
+        // Correlation between count and degree should be positive: the
+        // most-visited node should have above-average degree.
+        let g = net.graph();
+        let best = counts.iter().max_by_key(|(_, &c)| c).map(|(&u, _)| u).unwrap();
+        let avg_deg = g.degree_sum() as f64 / g.num_nodes() as f64;
+        assert!(
+            g.degree(best) as f64 >= avg_deg,
+            "stationary sampling should favor high-degree nodes"
+        );
+    }
+
+    #[test]
+    fn sample_cost_is_logarithmic() {
+        let mut small = network(16, 5);
+        let mut big = network(256, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let src_small = small.node_ids()[0];
+        small.net.begin_step();
+        let (_, c_small) = uniform_sample(&mut small, src_small, &mut rng);
+        small.net.end_step(dex_sim::StepKind::Insert, dex_sim::RecoveryKind::Type1);
+        let src_big = big.node_ids()[0];
+        big.net.begin_step();
+        let (_, c_big) = uniform_sample(&mut big, src_big, &mut rng);
+        big.net.end_step(dex_sim::StepKind::Insert, dex_sim::RecoveryKind::Type1);
+        // 16× nodes: cost grows by the log factor only.
+        assert!(c_big.steps < c_small.steps * 3, "{c_small:?} vs {c_big:?}");
+    }
+}

@@ -1,0 +1,142 @@
+//! BFS flood + convergecast aggregation (Algorithm 4.4).
+//!
+//! `computeSpare` / `computeLow` deterministically count the network size
+//! and the size of a predicate set: the initiator floods a request through
+//! the whole network (each node forwards on first receipt), then the counts
+//! converge back up the implicit BFS tree. Cost charged: one message per
+//! directed edge during the broadcast (`degree sum`), one message per
+//! non-root node during the convergecast, and `2·ecc(root)` rounds.
+
+use crate::network::Network;
+use dex_graph::fxhash::FxHashMap;
+use dex_graph::ids::NodeId;
+use std::collections::VecDeque;
+
+/// Outcome of a flood-aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FloodResult {
+    /// Nodes reached (the component of the root — the whole network when
+    /// connected, which DEX maintains).
+    pub n: usize,
+    /// Nodes satisfying the predicate.
+    pub matching: usize,
+    /// Rounds charged (2 × eccentricity of the root).
+    pub rounds: u64,
+    /// Messages charged.
+    pub messages: u64,
+}
+
+/// Flood from `root`, count nodes satisfying `pred`, converge-cast back.
+pub fn flood_count(
+    net: &mut Network,
+    root: NodeId,
+    pred: impl Fn(NodeId) -> bool,
+) -> FloodResult {
+    let g = net.graph();
+    assert!(g.has_node(root), "flood root {root} missing");
+    let mut dist: FxHashMap<NodeId, u32> = FxHashMap::default();
+    let mut queue = VecDeque::new();
+    dist.insert(root, 0);
+    queue.push_back(root);
+    let mut ecc = 0u32;
+    let mut broadcast_msgs = 0u64;
+    let mut matching = 0usize;
+    while let Some(u) = queue.pop_front() {
+        let du = dist[&u];
+        ecc = ecc.max(du);
+        if pred(u) {
+            matching += 1;
+        }
+        // On first receipt a node forwards to all neighbors (except the
+        // sender); we charge its full degree minus one for non-roots, the
+        // full degree for the root. Parallel edges each carry a copy (the
+        // node cannot know its parallel edges lead to the same peer without
+        // extra protocol).
+        let deg = g.degree(u) as u64;
+        broadcast_msgs += if u == root { deg } else { deg.saturating_sub(1) };
+        for &v in g.neighbors(u) {
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
+                e.insert(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    let n = dist.len();
+    let convergecast_msgs = (n as u64).saturating_sub(1);
+    let rounds = 2 * ecc as u64;
+    let messages = broadcast_msgs + convergecast_msgs;
+    net.charge_rounds(rounds);
+    net.charge_messages(messages);
+    FloodResult {
+        n,
+        matching,
+        rounds,
+        messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RecoveryKind, StepKind};
+
+    fn ring_net(k: u64) -> Network {
+        let mut net = Network::new();
+        for i in 0..k {
+            net.adversary_add_node(NodeId(i));
+        }
+        for i in 0..k {
+            net.adversary_add_edge(NodeId(i), NodeId((i + 1) % k));
+        }
+        net
+    }
+
+    #[test]
+    fn counts_whole_ring() {
+        let mut net = ring_net(8);
+        net.begin_step();
+        let r = flood_count(&mut net, NodeId(0), |u| u.0 % 2 == 0);
+        assert_eq!(r.n, 8);
+        assert_eq!(r.matching, 4);
+        assert_eq!(r.rounds, 2 * 4); // ecc of a ring root = n/2
+        net.end_step(StepKind::Insert, RecoveryKind::Type1);
+    }
+
+    #[test]
+    fn message_cost_is_linear_in_edges() {
+        let mut net = ring_net(8);
+        net.begin_step();
+        let r = flood_count(&mut net, NodeId(0), |_| true);
+        // broadcast: root sends deg=2, others deg-1=1 each → 2 + 7 = 9;
+        // convergecast: 7. Total 16.
+        assert_eq!(r.messages, 16);
+        let (_, m, _) = net.current_counters();
+        assert_eq!(m, 16);
+        net.end_step(StepKind::Insert, RecoveryKind::Type1);
+    }
+
+    #[test]
+    fn flood_restricted_to_component() {
+        let mut net = ring_net(4);
+        for i in 10..13 {
+            net.adversary_add_node(NodeId(i));
+        }
+        net.adversary_add_edge(NodeId(10), NodeId(11));
+        net.begin_step();
+        let r = flood_count(&mut net, NodeId(10), |_| true);
+        assert_eq!(r.n, 2);
+        net.end_step(StepKind::Insert, RecoveryKind::Type1);
+    }
+
+    #[test]
+    fn singleton_flood() {
+        let mut net = Network::new();
+        net.adversary_add_node(NodeId(0));
+        net.begin_step();
+        let r = flood_count(&mut net, NodeId(0), |_| true);
+        assert_eq!(r.n, 1);
+        assert_eq!(r.matching, 1);
+        assert_eq!(r.rounds, 0);
+        net.end_step(StepKind::Insert, RecoveryKind::Type1);
+    }
+}

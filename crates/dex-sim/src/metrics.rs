@@ -1,0 +1,162 @@
+//! Per-step cost metrics and summaries.
+//!
+//! Theorem 1 is a statement about three counters per adversarial step:
+//! rounds, messages, topology changes. Every experiment in the harness
+//! ultimately reports a [`Summary`] of a stream of [`StepMetrics`].
+
+/// What the adversary did in a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepKind {
+    /// One node inserted.
+    Insert,
+    /// One node deleted.
+    Delete,
+    /// Batch of `k` insertions (Sect. 5 extension).
+    BatchInsert(u32),
+    /// Batch of `k` deletions (Sect. 5 extension).
+    BatchDelete(u32),
+}
+
+/// Which recovery flavour the algorithm used in a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryKind {
+    /// Plain type-1 (random-walk rebalancing).
+    Type1,
+    /// Type-1 while a staggered type-2 is in progress (worst-case variant).
+    Type1Staggered,
+    /// Simplified one-shot inflation (Algorithm 4.5).
+    InflateSimple,
+    /// Simplified one-shot deflation (Algorithm 4.6).
+    DeflateSimple,
+    /// A staggered inflation was initiated or advanced this step.
+    InflateStaggered,
+    /// A staggered deflation was initiated or advanced this step.
+    DeflateStaggered,
+}
+
+impl RecoveryKind {
+    /// Is this one of the type-2 (virtual-graph replacement) flavours?
+    pub fn is_type2(self) -> bool {
+        !matches!(self, RecoveryKind::Type1 | RecoveryKind::Type1Staggered)
+    }
+}
+
+/// Cost of a single adversarial step and its recovery.
+#[derive(Debug, Clone, Copy)]
+pub struct StepMetrics {
+    /// Step index (1-based, matching the paper's `t`).
+    pub step: u64,
+    /// What the adversary did.
+    pub kind: StepKind,
+    /// Which recovery ran.
+    pub recovery: RecoveryKind,
+    /// Synchronous rounds used by recovery.
+    pub rounds: u64,
+    /// Messages sent during recovery.
+    pub messages: u64,
+    /// Edges added or removed by the *algorithm* (adversarial attach /
+    /// attack edges are not charged).
+    pub topology_changes: u64,
+    /// Network size after the step.
+    pub n_after: usize,
+}
+
+/// Order statistics over a metric stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl Summary {
+    /// Summarize a sequence of values. Returns a zero summary when empty.
+    pub fn of(values: impl IntoIterator<Item = u64>) -> Summary {
+        let mut v: Vec<u64> = values.into_iter().collect();
+        if v.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                p50: 0,
+                p95: 0,
+                p99: 0,
+                max: 0,
+            };
+        }
+        v.sort_unstable();
+        let count = v.len();
+        let mean = v.iter().sum::<u64>() as f64 / count as f64;
+        // Nearest-rank percentile: smallest value with at least q·count
+        // values ≤ it.
+        let pct = |q: f64| -> u64 {
+            let idx = ((q * count as f64).ceil() as usize).clamp(1, count) - 1;
+            v[idx]
+        };
+        Summary {
+            count,
+            mean,
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            max: *v.last().expect("nonempty"),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mean {:.1}  p50 {}  p95 {}  p99 {}  max {}  (k={})",
+            self.mean, self.p50, self.p95, self.p99, self.max, self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty() {
+        let s = Summary::of(std::iter::empty());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn summary_order_statistics() {
+        let s = Summary::of(1..=100u64);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.p99, 99); // index round(99·0.99) = 98 → value 99
+        assert!((s.mean - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = Summary::of([7u64]);
+        assert_eq!(s.p50, 7);
+        assert_eq!(s.p95, 7);
+        assert_eq!(s.max, 7);
+    }
+
+    #[test]
+    fn recovery_kind_classification() {
+        assert!(!RecoveryKind::Type1.is_type2());
+        assert!(!RecoveryKind::Type1Staggered.is_type2());
+        assert!(RecoveryKind::InflateSimple.is_type2());
+        assert!(RecoveryKind::DeflateStaggered.is_type2());
+    }
+}

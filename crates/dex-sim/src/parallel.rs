@@ -1,0 +1,94 @@
+//! Deterministic fork-join parallelism helpers (crossbeam scoped threads).
+//!
+//! Used by the measurement harness for embarrassingly parallel work such as
+//! computing spectral gaps over hundreds of topology snapshots. Output
+//! order always equals input order, so parallel and sequential runs are
+//! interchangeable — a determinism test enforces it.
+
+use crossbeam::thread;
+
+/// Parallel map preserving input order. Splits `items` into contiguous
+/// chunks, one per worker; workers write into disjoint output slices, so no
+/// synchronization is needed beyond the final join.
+///
+/// Falls back to a sequential map when `threads <= 1` or the input is
+/// small.
+pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n < 2 {
+        return items.iter().map(&f).collect();
+    }
+    let workers = threads.min(n);
+    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(workers);
+    thread::scope(|s| {
+        let mut rest: &mut [Option<U>] = &mut out;
+        let mut offset = 0usize;
+        let f = &f;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let slice_items = &items[offset..offset + take];
+            s.spawn(move |_| {
+                for (slot, item) in head.iter_mut().zip(slice_items) {
+                    *slot = Some(f(item));
+                }
+            });
+            rest = tail;
+            offset += take;
+        }
+    })
+    .expect("worker panicked");
+    out.into_iter()
+        .map(|o| o.expect("all slots filled"))
+        .collect()
+}
+
+/// Number of worker threads to use by default: available parallelism
+/// clamped to [1, 16].
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let par = par_map(&items, threads, |x| x * x);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, 8, |x| *x).is_empty());
+        assert_eq!(par_map(&[5u32], 8, |x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn preserves_order_with_uneven_chunks() {
+        let items: Vec<usize> = (0..17).collect();
+        let out = par_map(&items, 4, |x| *x);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn default_threads_sane() {
+        let t = default_threads();
+        assert!((1..=16).contains(&t));
+    }
+}

@@ -1,0 +1,42 @@
+//! Adaptive attacks against DEX: the adversary sees the whole network
+//! state (topology, mapping, coordinator) and strikes where it hurts.
+//!
+//! ```sh
+//! cargo run --release --example adversarial_attack
+//! ```
+
+use dex::prelude::*;
+
+fn attack(name: &str, mut adv: Box<dyn Adversary>, steps: usize) {
+    let mut net = DexNetwork::bootstrap(DexConfig::new(5), 24);
+    let mut min_gap = f64::INFINITY;
+    let mut max_load = 0u64;
+    let mut max_deg = 0usize;
+    for s in 0..steps {
+        dex::adversary::driver::step(&mut net, adv.as_mut());
+        if s % 10 == 0 {
+            min_gap = min_gap.min(net.spectral_gap());
+        }
+        max_load = max_load.max(net.max_total_load());
+        max_deg = max_deg.max(net.max_degree());
+        if let Err(e) = invariants::check(&net) {
+            panic!("{name}: invariant broken at step {s}: {e}");
+        }
+    }
+    println!(
+        "{name:<20} {steps:>5} steps  n = {:>4}  min gap = {min_gap:.4}  max load = {max_load:>2}  max deg = {max_deg:>3}",
+        net.n()
+    );
+}
+
+fn main() {
+    println!("DEX under adaptive attack (every adversary sees the full state):\n");
+    attack("random-churn", Box::new(RandomChurn::new(1, 0.5)), 400);
+    attack("insert-only", Box::new(InsertOnly::new(2)), 400);
+    attack("delete-heavy", Box::new(RandomChurn::new(3, 0.25)), 400);
+    attack("high-load-hunter", Box::new(HighLoadHunter::new(4)), 400);
+    attack("coordinator-hunter", Box::new(CoordinatorHunter::new(5)), 400);
+    attack("cut-attacker", Box::new(CutAttacker::new(6)), 400);
+    attack("oscillating-size", Box::new(OscillatingSize::new(7, 16, 200)), 600);
+    println!("\nno adversary broke the degree bound or collapsed the spectral gap ✓");
+}

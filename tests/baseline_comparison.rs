@@ -1,0 +1,109 @@
+//! Qualitative Table-1 facts, enforced as tests: who has guaranteed
+//! degree bounds, whose message costs scale how, and who degrades under
+//! adaptive attack.
+
+use dex::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn churn_overlay(o: &mut dyn Overlay, steps: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next = 10_000_000u64;
+    for _ in 0..steps {
+        let ids = o.node_ids();
+        if rng.random_bool(0.5) || ids.len() <= 8 {
+            o.insert(NodeId(next), ids[rng.random_range(0..ids.len())]);
+            next += 1;
+        } else {
+            o.delete(ids[rng.random_range(0..ids.len())]);
+        }
+    }
+}
+
+#[test]
+fn dex_and_law_siu_have_constant_degree_but_skip_lite_logarithmic() {
+    let mut dexn = DexNetwork::bootstrap(DexConfig::new(1).simplified(), 64);
+    let mut law = LawSiu::bootstrap(2, 64, 3);
+    let mut skip = SkipLite::bootstrap(3, 64);
+    churn_overlay(&mut dexn, 300, 9);
+    churn_overlay(&mut law, 300, 9);
+    churn_overlay(&mut skip, 300, 9);
+    assert!(dexn.max_degree() <= 3 * 32, "dex degree {}", Overlay::max_degree(&dexn));
+    assert!(Overlay::max_degree(&law) == 6, "law-siu degree");
+    // Skip graphs: degree grows with log n — strictly above the 2k of
+    // Law–Siu at this size.
+    assert!(Overlay::max_degree(&skip) > 6, "skip-lite degree too small");
+}
+
+#[test]
+fn flooding_costs_linear_dex_costs_log() {
+    let mut dexn = DexNetwork::bootstrap(DexConfig::new(4).simplified(), 256);
+    let mut flood = Flooding::bootstrap(5, 256, 4);
+    let ids_d = dexn.node_ids();
+    let ids_f = flood.node_ids();
+    let md = Overlay::insert(&mut dexn, NodeId(20_000_000), ids_d[0]);
+    let mf = flood.insert(NodeId(20_000_000), ids_f[0]);
+    assert!(
+        mf.messages > md.messages * 5,
+        "flooding {} vs dex {} messages",
+        mf.messages,
+        md.messages
+    );
+}
+
+#[test]
+fn all_overlays_stay_connected_expanders_under_random_churn() {
+    let mut overlays: Vec<Box<dyn Overlay>> = vec![
+        Box::new(DexNetwork::bootstrap(DexConfig::new(6).simplified(), 32)),
+        Box::new(LawSiu::bootstrap(7, 32, 3)),
+        Box::new(SkipLite::bootstrap(8, 32)),
+        Box::new(NaivePatch::bootstrap(9, 32)),
+    ];
+    for o in overlays.iter_mut() {
+        churn_overlay(o.as_mut(), 200, 11);
+        assert!(
+            dex::graph::connectivity::is_connected(o.graph()),
+            "{} disconnected",
+            o.name()
+        );
+    }
+}
+
+#[test]
+fn naive_patch_degree_blows_up_dex_does_not() {
+    // Adaptive attack: always delete a neighbor of the max-degree node.
+    fn attack(o: &mut dyn Overlay, steps: usize, seed: u64) -> usize {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut next = 30_000_000u64;
+        let mut worst = 0;
+        for _ in 0..steps {
+            let ids = o.node_ids();
+            let hub = ids
+                .iter()
+                .copied()
+                .max_by_key(|&u| o.graph().degree(u))
+                .unwrap();
+            if ids.len() > 10 && rng.random_bool(0.5) {
+                let nbrs = o.graph().neighbors(hub).to_vec();
+                let victim = nbrs.iter().copied().find(|&w| w != hub).unwrap_or(hub);
+                if victim != hub {
+                    o.delete(victim);
+                }
+            } else {
+                o.insert(NodeId(next), hub);
+                next += 1;
+            }
+            worst = worst.max(o.max_degree());
+        }
+        worst
+    }
+    let mut dexn = DexNetwork::bootstrap(DexConfig::new(10).simplified(), 32);
+    let mut naive = NaivePatch::bootstrap(11, 32);
+    let dex_worst = attack(&mut dexn, 200, 13);
+    let naive_worst = attack(&mut naive, 200, 13);
+    assert!(dex_worst <= 96, "dex degree bound violated: {dex_worst}");
+    assert!(
+        naive_worst > dex_worst,
+        "naive {naive_worst} should exceed dex {dex_worst}"
+    );
+}

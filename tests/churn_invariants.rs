@@ -1,0 +1,63 @@
+//! Long adversarial runs across every adversary × both type-2 modes, with
+//! full invariant checking after every step.
+
+use dex::prelude::*;
+
+fn adversaries(seed: u64) -> Vec<Box<dyn Adversary>> {
+    vec![
+        Box::new(RandomChurn::new(seed, 0.5)),
+        Box::new(RandomChurn::new(seed + 1, 0.8)),
+        Box::new(RandomChurn::new(seed + 2, 0.2)),
+        Box::new(HighLoadHunter::new(seed + 3)),
+        Box::new(CoordinatorHunter::new(seed + 4)),
+        Box::new(CutAttacker::new(seed + 5)),
+        Box::new(OscillatingSize::new(seed + 6, 12, 120)),
+    ]
+}
+
+fn grind(cfg: DexConfig, steps: usize) {
+    for mut adv in adversaries(1000) {
+        let mut net = DexNetwork::bootstrap(cfg, 20);
+        for s in 0..steps {
+            dex::adversary::driver::step(&mut net, adv.as_mut());
+            if let Err(e) = invariants::check(&net) {
+                panic!("{} ({:?}) step {s}: {e}", adv.name(), cfg.mode);
+            }
+        }
+        assert!(
+            net.spectral_gap() > 0.003,
+            "{} collapsed the gap to {}",
+            adv.name(),
+            net.spectral_gap()
+        );
+        let bound = if net.type2_in_progress() {
+            net.cfg.max_load_staggered()
+        } else {
+            net.cfg.max_load()
+        };
+        assert!(net.max_total_load() <= bound);
+    }
+}
+
+#[test]
+fn simplified_mode_survives_every_adversary() {
+    grind(DexConfig::new(21).simplified(), 250);
+}
+
+#[test]
+fn staggered_mode_survives_every_adversary() {
+    grind(DexConfig::new(22).staggered(), 250);
+}
+
+#[test]
+fn paper_strict_theta_also_works() {
+    let cfg = DexConfig::paper_strict(23).simplified();
+    let mut net = DexNetwork::bootstrap(cfg, 16);
+    let mut adv = RandomChurn::new(9, 0.6);
+    for s in 0..300 {
+        dex::adversary::driver::step(&mut net, &mut adv);
+        if let Err(e) = invariants::check(&net) {
+            panic!("step {s}: {e}");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! The DHT keeps every key readable through adversarial churn, including
+//! across inflations/deflations, in both type-2 modes.
+
+use dex::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn run(cfg: DexConfig, churn_steps: usize, seed: u64) {
+    let mut net = DexNetwork::bootstrap(cfg, 24);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids = IdAllocator::new();
+
+    for k in 0..120u64 {
+        let live = net.node_ids();
+        let from = live[rng.random_range(0..live.len())];
+        net.dht_insert(from, k, k.wrapping_mul(0x9e37));
+    }
+
+    for _ in 0..churn_steps {
+        let live = net.node_ids();
+        if rng.random_bool(0.7) {
+            let attach = live[rng.random_range(0..live.len())];
+            net.insert(ids.fresh(), attach);
+        } else if live.len() > 6 {
+            net.delete(live[rng.random_range(0..live.len())]);
+        }
+    }
+    invariants::assert_ok(&net);
+
+    for k in 0..120u64 {
+        let live = net.node_ids();
+        let from = live[rng.random_range(0..live.len())];
+        let (v, m) = net.dht_lookup(from, k);
+        assert_eq!(v, Some(k.wrapping_mul(0x9e37)), "key {k}");
+        // O(log n) routing: generous absolute cap at this scale.
+        assert!(m.rounds <= 120, "lookup rounds {}", m.rounds);
+    }
+}
+
+#[test]
+fn dht_simplified_mode() {
+    run(DexConfig::new(31).simplified(), 500, 7);
+}
+
+#[test]
+fn dht_staggered_mode() {
+    run(DexConfig::new(32).staggered(), 500, 8);
+}
+
+#[test]
+fn dht_owner_is_consistent_with_mapping() {
+    let mut net = DexNetwork::bootstrap(DexConfig::new(33).simplified(), 16);
+    for k in 0..50u64 {
+        let from = net.node_ids()[0];
+        net.dht_insert(from, k, k);
+        let owner = net.dht_owner(k);
+        assert!(net.graph().has_node(owner));
+    }
+}
