@@ -1,0 +1,56 @@
+//! CSR snapshot cost: the generation-stamped cache vs the seed's
+//! rebuild-per-call path, on a DEX-sized graph under edge churn.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dex::prelude::*;
+use std::hint::black_box;
+
+fn churn_pair(g: &mut dex::graph::MultiGraph, i: u64) {
+    // One remove + one add keeps the measurement graph statistically
+    // stable while dirtying two rows per call.
+    let p = 20011u64;
+    let (a, b) = (NodeId(i % p), NodeId((i * 7 + 1) % p));
+    if g.contains_edge(a, b) {
+        g.remove_edge(a, b);
+        g.add_edge(a, b);
+    } else {
+        g.add_edge(a, b);
+        g.remove_edge(a, b);
+    }
+}
+
+fn bench_csr_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csr_cache");
+    group.sample_size(20);
+
+    let base = PCycle::new(20011).to_multigraph();
+
+    // Seed path: full from-scratch CSR construction on every call.
+    let g = base.clone();
+    group.bench_function("rebuild_per_call_p20011", |b| {
+        b.iter(|| black_box(g.to_csr().targets.len()));
+    });
+
+    // Unchanged graph: the cache answers with a generation compare.
+    let g = base.clone();
+    let _ = g.csr();
+    group.bench_function("cached_unchanged_p20011", |b| {
+        b.iter(|| black_box(g.csr().targets.len()));
+    });
+
+    // Edge churn: two dirty rows per refresh → incremental rebuild.
+    let mut g = base.clone();
+    let mut i = 0u64;
+    group.bench_function("cached_after_edge_churn_p20011", |b| {
+        b.iter(|| {
+            churn_pair(&mut g, i);
+            i += 1;
+            black_box(g.csr().targets.len())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_csr_cache);
+criterion_main!(benches);

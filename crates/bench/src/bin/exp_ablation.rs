@@ -43,7 +43,14 @@ fn theta_sweep() {
     }
     print_table(
         "θ controls when type-2 fires, not whether the invariants hold",
-        &["θ", "n@end", "type2 events", "msgs p95", "msgs max", "gap@end"],
+        &[
+            "θ",
+            "n@end",
+            "type2 events",
+            "msgs p95",
+            "msgs max",
+            "gap@end",
+        ],
         &rows,
     );
 }
@@ -73,7 +80,13 @@ fn window_sweep() {
     }
     print_table(
         "larger θ ⇒ larger windows ⇒ fewer but heavier staggered steps",
-        &["θ", "staggered steps", "t2 msgs p50/p95/max", "t2 topoΔ p50/p95/max", "gap@end"],
+        &[
+            "θ",
+            "staggered steps",
+            "t2 msgs p50/p95/max",
+            "t2 topoΔ p50/p95/max",
+            "gap@end",
+        ],
         &rows,
     );
 }
@@ -111,7 +124,14 @@ fn routing_validation() {
     }
     print_table(
         "store-and-forward makespan vs the 6·log p model (messages vs p·log p)",
-        &["p", "rounds (executed)", "rounds (model)", "msgs (executed)", "msgs (model)", "rounds/log²p"],
+        &[
+            "p",
+            "rounds (executed)",
+            "rounds (model)",
+            "msgs (executed)",
+            "msgs (model)",
+            "rounds/log²p",
+        ],
         &rows,
     );
     println!("\nexpected: executed rounds stay within a small factor of the model; the");

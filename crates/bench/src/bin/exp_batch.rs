@@ -24,12 +24,7 @@ fn main() {
             if round % 2 == 0 {
                 let live = net.node_ids();
                 let joins: Vec<(NodeId, NodeId)> = (0..batch)
-                    .map(|_| {
-                        (
-                            ids.fresh(),
-                            live[rng.random_range(0..live.len())],
-                        )
-                    })
+                    .map(|_| (ids.fresh(), live[rng.random_range(0..live.len())]))
                     .collect();
                 // Respect the O(1) fan-in condition by deduplicating
                 // attach points when the batch is large.
@@ -72,7 +67,12 @@ fn main() {
     }
     print_table(
         "messages per batch step",
-        &["batch size", "n@end", "insert-batch p50/p95/max", "delete-batch p50/p95/max"],
+        &[
+            "batch size",
+            "n@end",
+            "insert-batch p50/p95/max",
+            "delete-batch p50/p95/max",
+        ],
         &rows,
     );
     println!("\nexpected: cost grows ~linearly in the batch size (k·log n), well below k·n.");

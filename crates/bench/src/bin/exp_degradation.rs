@@ -74,8 +74,14 @@ fn main() {
             "dex",
             Box::new(|| Box::new(DexNetwork::bootstrap(DexConfig::new(51).staggered(), 48))),
         ),
-        ("law-siu", Box::new(|| Box::new(LawSiu::bootstrap(52, 48, 3)))),
-        ("skip-lite", Box::new(|| Box::new(SkipLite::bootstrap(53, 48)))),
+        (
+            "law-siu",
+            Box::new(|| Box::new(LawSiu::bootstrap(52, 48, 3))),
+        ),
+        (
+            "skip-lite",
+            Box::new(|| Box::new(SkipLite::bootstrap(53, 48))),
+        ),
         (
             "naive-patch",
             Box::new(|| Box::new(NaivePatch::bootstrap(54, 48))),

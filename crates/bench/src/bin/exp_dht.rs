@@ -48,7 +48,14 @@ fn main() {
     }
     print_table(
         "DHT cost vs size (messages per op)",
-        &["n", "log2 n", "insert p50/p95/max", "lookup p50/p95/max", "lkp.p95/log n", "lost"],
+        &[
+            "n",
+            "log2 n",
+            "insert p50/p95/max",
+            "lookup p50/p95/max",
+            "lkp.p95/log n",
+            "lost",
+        ],
         &rows,
     );
     println!("\nexpected: the ratio column is ~constant (O(log n) ops); lost = 0.");

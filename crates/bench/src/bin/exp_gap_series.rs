@@ -59,9 +59,17 @@ fn main() {
         run("insert-only", Box::new(InsertOnly::new(2)), steps),
         run("delete-heavy", Box::new(RandomChurn::new(3, 0.25)), steps),
         run("high-load-hunter", Box::new(HighLoadHunter::new(4)), steps),
-        run("coordinator-hunter", Box::new(CoordinatorHunter::new(5)), steps),
+        run(
+            "coordinator-hunter",
+            Box::new(CoordinatorHunter::new(5)),
+            steps,
+        ),
         run("cut-attacker", Box::new(CutAttacker::new(6)), steps),
-        run("oscillating", Box::new(OscillatingSize::new(7, 24, 300)), steps),
+        run(
+            "oscillating",
+            Box::new(OscillatingSize::new(7, 24, 300)),
+            steps,
+        ),
     ];
     print_table(
         "min gap (sampled), Lemma 9(b) floor, worst load (≤ 8ζ = 64), worst degree",

@@ -22,8 +22,7 @@ fn run(cfg: DexConfig, label: &str, steps: usize) -> Vec<String> {
     let all_msgs = Summary::of(h.iter().map(|m| m.messages));
     let t2_msgs = Summary::of(type2.iter().map(|m| m.messages));
     let t2_rounds = Summary::of(type2.iter().map(|m| m.rounds));
-    let amortized: f64 =
-        h.iter().map(|m| m.messages).sum::<u64>() as f64 / h.len() as f64;
+    let amortized: f64 = h.iter().map(|m| m.messages).sum::<u64>() as f64 / h.len() as f64;
     vec![
         label.to_string(),
         format!("{}", net.n()),
@@ -37,7 +36,9 @@ fn run(cfg: DexConfig, label: &str, steps: usize) -> Vec<String> {
 
 fn main() {
     let steps = 3000;
-    println!("E4: type-2 recovery — one-shot (Cor. 1, amortized) vs staggered (Thm. 1, worst case)");
+    println!(
+        "E4: type-2 recovery — one-shot (Cor. 1, amortized) vs staggered (Thm. 1, worst case)"
+    );
     println!("insert-heavy workload (92% joins), {steps} steps, n grows ~32 → ~2800");
     let rows = vec![
         run(DexConfig::new(11).simplified(), "simplified", steps),

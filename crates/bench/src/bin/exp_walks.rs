@@ -60,7 +60,12 @@ fn main() {
                     n_at
                 ));
             } else {
-                seps.push(format!("  p {} → {} at step {}", before, net.cycle.p(), step));
+                seps.push(format!(
+                    "  p {} → {} at step {}",
+                    before,
+                    net.cycle.p(),
+                    step
+                ));
             }
             last = Some((step, net.n()));
         }

@@ -73,9 +73,13 @@ fn main() {
     // The figure's implicit claims, verified.
     let gap_z = spectral::spectral_gap(&zg);
     let gap_g = spectral::spectral_gap(g);
-    println!("\nLemma 1 check: λ_G ≤ λ_Z ⟺ gap_G ({gap_g:.4}) ≥ gap_Z ({gap_z:.4}): {}",
-        gap_g >= gap_z - 1e-9);
-    println!("degree check:  deg(u) = 3·load(u) for every node: {}",
-        (0..7).all(|i| g.degree(NodeId(i)) as u64 == 3 * map.load(NodeId(i))));
+    println!(
+        "\nLemma 1 check: λ_G ≤ λ_Z ⟺ gap_G ({gap_g:.4}) ≥ gap_Z ({gap_z:.4}): {}",
+        gap_g >= gap_z - 1e-9
+    );
+    println!(
+        "degree check:  deg(u) = 3·load(u) for every node: {}",
+        (0..7).all(|i| g.degree(NodeId(i)) as u64 == 3 * map.load(NodeId(i)))
+    );
     println!("\n(run `cargo run --example figure1` for DOT output of both graphs)");
 }

@@ -40,7 +40,11 @@ fn main() {
         let topo = Summary::of(metrics.iter().map(|m| m.topology_changes));
         let gap = o.spectral_gap();
         let label = if o.name() == "dex" {
-            let l = if first_dex { "dex (staggered)" } else { "dex (simplified)" };
+            let l = if first_dex {
+                "dex (staggered)"
+            } else {
+                "dex (simplified)"
+            };
             first_dex = false;
             l.to_string()
         } else {

@@ -39,7 +39,9 @@ pub fn run(dex: &mut DexNetwork, adv: &mut dyn Adversary, steps: usize) -> Vec<A
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CoordinatorHunter, CutAttacker, HighLoadHunter, OscillatingSize, RandomChurn, ReplayTrace};
+    use crate::{
+        CoordinatorHunter, CutAttacker, HighLoadHunter, OscillatingSize, RandomChurn, ReplayTrace,
+    };
     use dex_core::{invariants, DexConfig};
 
     fn fresh(seed: u64) -> DexNetwork {

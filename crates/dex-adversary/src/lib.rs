@@ -358,7 +358,7 @@ impl CutAttacker {
         let mut cut = 0i64;
         let mut best = (f64::INFINITY, 1usize);
         for (i, &u) in order.iter().enumerate().take(order.len() / 2) {
-            for &v in g.neighbors(u) {
+            for v in g.neighbors(u) {
                 if v == u {
                     continue;
                 }
@@ -383,7 +383,7 @@ impl CutAttacker {
                 (
                     g.neighbors(u)
                         .iter()
-                        .filter(|&&v| !side_set.contains(&v))
+                        .filter(|&v| !side_set.contains(&v))
                         .count(),
                     u,
                 )
@@ -458,7 +458,7 @@ impl Adversary for SpectralCutAttacker {
                         view.graph
                             .neighbors(u)
                             .iter()
-                            .filter(|&&v| !side_set.contains(&v))
+                            .filter(|&v| !side_set.contains(&v))
                             .count(),
                         u,
                     )

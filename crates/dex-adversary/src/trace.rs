@@ -37,7 +37,9 @@ pub fn parse(s: &str) -> Result<Vec<Action>, String> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let tag = parts.next().ok_or_else(|| format!("line {lineno}: empty"))?;
+        let tag = parts
+            .next()
+            .ok_or_else(|| format!("line {lineno}: empty"))?;
         let parse_u64 = |p: Option<&str>| -> Result<u64, String> {
             p.ok_or_else(|| format!("line {lineno}: missing field"))?
                 .parse::<u64>()

@@ -32,7 +32,11 @@ impl Flooding {
         for i in 0..n0 {
             net.adversary_add_node(NodeId(i));
         }
-        let mut s = Flooding { net, d, rng: StdRng::seed_from_u64(0) };
+        let mut s = Flooding {
+            net,
+            d,
+            rng: StdRng::seed_from_u64(0),
+        };
         s.rewire_fresh(&mut rng, false);
         s.rng = rng;
         s
@@ -43,7 +47,11 @@ impl Flooding {
     fn rewire_fresh(&mut self, rng: &mut StdRng, charged: bool) {
         let ids = self.net.graph().nodes_sorted();
         let n = ids.len() as u64;
-        let d = if (n as usize * self.d).is_multiple_of(2) { self.d } else { self.d + 1 };
+        let d = if (n as usize * self.d).is_multiple_of(2) {
+            self.d
+        } else {
+            self.d + 1
+        };
         let template = random_regular(n, d, rng);
         // Map template ids 0..n onto the live id set.
         let mut target: Vec<(NodeId, NodeId)> = template
@@ -141,7 +149,6 @@ impl Overlay for Flooding {
             .graph()
             .neighbors(victim)
             .iter()
-            .copied()
             .find(|&w| w != victim)
             .expect("victim had a neighbor");
         self.net.begin_step();

@@ -98,7 +98,7 @@ pub(crate) fn metered_walk(
         if nbrs.is_empty() {
             break;
         }
-        cur = nbrs[rng.random_range(0..nbrs.len())];
+        cur = nbrs.at(rng.random_range(0..nbrs.len()));
         net.charge_rounds(1);
         net.charge_messages(1);
     }

@@ -75,7 +75,6 @@ impl Overlay for NaivePatch {
             .graph()
             .neighbors(victim)
             .iter()
-            .copied()
             .filter(|&w| w != victim)
             .collect();
         nbrs.sort_unstable();
@@ -137,7 +136,7 @@ mod tests {
                 .copied()
                 .max_by_key(|&u| np.graph().degree(u))
                 .unwrap();
-            let victim = np.graph().neighbors(hub)[0];
+            let victim = np.graph().neighbors(hub).at(0);
             if ids.len() > 8 && victim != hub {
                 np.delete(victim);
             } else {

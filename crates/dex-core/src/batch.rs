@@ -79,7 +79,6 @@ impl DexNetwork {
                 .graph()
                 .neighbors(victim)
                 .iter()
-                .copied()
                 .filter(|&w| w != victim)
                 .collect();
             nbrs.sort_unstable();
@@ -125,8 +124,16 @@ impl DexNetwork {
                 return false;
             }
             self.walk_stats.misses += 1;
-            let res = dex_sim::flood::flood_count(&mut self.net, v, |w| map.is_spare(w));
-            if !self.cfg.spare_sufficient(res.matching, res.n.saturating_sub(1)) {
+            let res = dex_sim::flood::flood_count_with(
+                &mut self.net,
+                v,
+                |w| map.is_spare(w),
+                &mut self.flood_scratch,
+            );
+            if !self
+                .cfg
+                .spare_sufficient(res.matching, res.n.saturating_sub(1))
+            {
                 self.walk_stats.type2 += 1;
                 crate::type2_simple::inflate(self, Some((u, v)));
                 return true;
@@ -179,8 +186,12 @@ impl DexNetwork {
                     break;
                 }
                 self.walk_stats.misses += 1;
-                let res =
-                    dex_sim::flood::flood_count(&mut self.net, rescuer, |w| map.is_low(w));
+                let res = dex_sim::flood::flood_count_with(
+                    &mut self.net,
+                    rescuer,
+                    |w| map.is_low(w),
+                    &mut self.flood_scratch,
+                );
                 if !self.cfg.low_sufficient(res.matching, res.n) {
                     self.walk_stats.type2 += 1;
                     crate::type2_simple::deflate(self, rescuer);

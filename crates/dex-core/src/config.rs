@@ -167,7 +167,7 @@ mod tests {
     #[test]
     fn threshold_arithmetic_small_n() {
         let c = DexConfig::new(0); // θ = 1/64
-        // n=10: θn < 1, any nonempty Spare suffices.
+                                   // n=10: θn < 1, any nonempty Spare suffices.
         assert!(c.spare_sufficient(1, 10));
         assert!(!c.spare_sufficient(0, 10));
         // n=640: need ≥ 10.

@@ -9,7 +9,7 @@ use crate::staggered::StaggeredOp;
 use dex_graph::ids::{NodeId, VertexId};
 use dex_graph::pcycle::PCycle;
 use dex_graph::primes;
-use dex_sim::flood::flood_count;
+use dex_sim::flood::{flood_count_with, FloodScratch};
 use dex_sim::rng::{Purpose, SeedSpace};
 use dex_sim::tokens::random_walk_search;
 use dex_sim::{Network, RecoveryKind, StepKind, StepMetrics};
@@ -50,6 +50,9 @@ pub struct DexNetwork {
     /// DHT storage (keys live with the vertex they hash to).
     pub(crate) dht: crate::dht::DhtStore,
     pub(crate) step_no: u64,
+    /// Reusable BFS scratch for the type-2 decision floods (one flood per
+    /// type-2 step; reusing the buffers keeps the hot path allocation-free).
+    pub(crate) flood_scratch: FloodScratch,
 }
 
 impl DexNetwork {
@@ -84,6 +87,7 @@ impl DexNetwork {
             walk_stats: WalkStats::default(),
             dht: crate::dht::DhtStore::default(),
             step_no: 0,
+            flood_scratch: FloodScratch::new(),
         }
     }
 
@@ -143,7 +147,10 @@ impl DexNetwork {
     /// algorithm heals and the step's cost is returned.
     pub fn insert(&mut self, u: NodeId, v: NodeId) -> StepMetrics {
         assert!(!self.net.graph().has_node(u), "insert: {u} already present");
-        assert!(self.net.graph().has_node(v), "insert: attach point {v} missing");
+        assert!(
+            self.net.graph().has_node(v),
+            "insert: attach point {v} missing"
+        );
         self.step_no += 1;
         self.net.begin_step();
         self.net.adversary_add_node(u);
@@ -194,7 +201,12 @@ impl DexNetwork {
                 continue;
             }
             flooded = true;
-            let res = flood_count(&mut self.net, v, |w| map.is_spare(w));
+            let res = flood_count_with(
+                &mut self.net,
+                v,
+                |w| map.is_spare(w),
+                &mut self.flood_scratch,
+            );
             // The flood reaches the fresh node u too; the paper counts
             // |Spare| against |G_{t-1}|.
             let n_prev = res.n.saturating_sub(1);
@@ -255,7 +267,10 @@ impl DexNetwork {
     /// Adversary deletes `victim`; the algorithm heals and the step cost is
     /// returned.
     pub fn delete(&mut self, victim: NodeId) -> StepMetrics {
-        assert!(self.net.graph().has_node(victim), "delete: {victim} missing");
+        assert!(
+            self.net.graph().has_node(victim),
+            "delete: {victim} missing"
+        );
         assert!(self.n() > 2, "refusing to delete below 2 nodes");
         self.step_no += 1;
 
@@ -265,7 +280,6 @@ impl DexNetwork {
             .graph()
             .neighbors(victim)
             .iter()
-            .copied()
             .filter(|&w| w != victim)
             .collect();
         nbrs.sort_unstable();
@@ -336,7 +350,12 @@ impl DexNetwork {
                     break;
                 }
                 self.walk_stats.misses += 1;
-                let res = flood_count(&mut self.net, rescuer, |w| map.is_low(w));
+                let res = flood_count_with(
+                    &mut self.net,
+                    rescuer,
+                    |w| map.is_low(w),
+                    &mut self.flood_scratch,
+                );
                 if !self.cfg.low_sufficient(res.matching, res.n) {
                     self.walk_stats.type2 += 1;
                     match self.cfg.mode {

@@ -187,10 +187,7 @@ pub fn rewire_to_target(net: &mut Network, target: &[(NodeId, NodeId)]) -> (u64,
 }
 
 /// Compare the physical graph against the expected contraction multiset.
-pub fn verify_fabric(
-    net: &Network,
-    expected: &[(NodeId, NodeId)],
-) -> Result<(), String> {
+pub fn verify_fabric(net: &Network, expected: &[(NodeId, NodeId)]) -> Result<(), String> {
     let mut current: Vec<(NodeId, NodeId)> = net
         .graph()
         .edges()
@@ -305,7 +302,11 @@ mod tests {
         net.begin_step();
         move_vertices(&mut net, &mut map, &cycle, &[VertexId(7)], NodeId(0));
         let m = net.end_step(dex_sim::StepKind::Insert, dex_sim::RecoveryKind::Type1);
-        assert!(m.topology_changes <= 6, "O(1) changes, got {}", m.topology_changes);
+        assert!(
+            m.topology_changes <= 6,
+            "O(1) changes, got {}",
+            m.topology_changes
+        );
         let expected = expected_edge_multiset(&map, &cycle);
         verify_fabric(&net, &expected).unwrap();
         assert_eq!(map.owner_of(VertexId(7)), NodeId(0));

@@ -22,7 +22,10 @@ use dex_graph::connectivity::is_connected;
 
 /// Check all structural invariants; `Err` describes the first violation.
 pub fn check(dex: &DexNetwork) -> Result<(), String> {
-    dex.net.graph().validate().map_err(|e| format!("graph: {e}"))?;
+    dex.net
+        .graph()
+        .validate()
+        .map_err(|e| format!("graph: {e}"))?;
     dex.map.validate().map_err(|e| format!("mapping: {e}"))?;
 
     let staggering = dex.stag.is_some();
@@ -85,6 +88,9 @@ pub fn check(dex: &DexNetwork) -> Result<(), String> {
 /// Convenience: panic with the violation message (for tests).
 pub fn assert_ok(dex: &DexNetwork) {
     if let Err(e) = check(dex) {
-        panic!("invariant violated at step {}: {e}\n{dex:?}", dex.net.steps_completed());
+        panic!(
+            "invariant violated at step {}: {e}\n{dex:?}",
+            dex.net.steps_completed()
+        );
     }
 }

@@ -132,7 +132,10 @@ impl VirtualMapping {
             .unwrap_or_else(|| panic!("vertex {z} not assigned"));
         let after = {
             let list = self.sim.get_mut(&u).expect("sim list missing");
-            let pos = list.iter().position(|&w| w == z).expect("sim entry missing");
+            let pos = list
+                .iter()
+                .position(|&w| w == z)
+                .expect("sim entry missing");
             list.swap_remove(pos);
             list.len() as u64
         };

@@ -18,7 +18,7 @@
 
 use crate::mapping::VirtualMapping;
 use dex_graph::ids::{NodeId, VertexId};
-use dex_graph::pcycle::{PathOracle, PCycle};
+use dex_graph::pcycle::{PCycle, PathOracle};
 use dex_sim::tokens::route_batch;
 use dex_sim::Network;
 
@@ -109,8 +109,8 @@ mod tests {
     use super::*;
     use crate::fabric;
     use dex_graph::primes;
-    use rand::seq::SliceRandom;
     use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
     use rand::SeedableRng;
 
     /// A DEX-shaped world: Z(p) dealt round-robin onto n nodes.
@@ -174,7 +174,11 @@ mod tests {
         let p_old = 499u64;
         let p_new = primes::inflation_prime(p_old);
         let pairs = inflation_inverse_pairs(p_old, p_new);
-        assert!(pairs.len() as u64 > p_new / 3, "too few pairs: {}", pairs.len());
+        assert!(
+            pairs.len() as u64 > p_new / 3,
+            "too few pairs: {}",
+            pairs.len()
+        );
         let cycle = PCycle::new(p_old);
         let far = pairs
             .iter()
@@ -229,7 +233,10 @@ mod tests {
         let rounds = route_pairs(&mut net, &map, &cycle, &pairs, 1);
         net.end_step(dex_sim::StepKind::Insert, dex_sim::RecoveryKind::Type1);
         let bound = 4 * log2(499) * log2(499);
-        assert!(rounds <= bound, "random permutation took {rounds} > {bound}");
+        assert!(
+            rounds <= bound,
+            "random permutation took {rounds} > {bound}"
+        );
     }
 
     #[test]

@@ -132,9 +132,7 @@ pub fn deflate(dex: &mut DexNetwork, root: NodeId) {
     let p_old = dex.cycle.p();
     let p_new = primes::deflation_prime(p_old)
         .filter(|&q| q >= MIN_PRIME)
-        .unwrap_or_else(|| {
-            panic!("cannot deflate below p = {p_old}: network too small for Z(p)")
-        });
+        .unwrap_or_else(|| panic!("cannot deflate below p = {p_old}: network too small for Z(p)"));
     let new_cycle = PCycle::new(p_new);
 
     flood_count(&mut dex.net, root, |_| false);
@@ -258,7 +256,11 @@ fn rebalance_overload(dex: &mut DexNetwork) {
     let step_no = dex.step_no;
     let mut epoch = 0u64;
     while !surplus.is_empty() {
-        assert!(epoch < 400, "rebalance did not converge ({} left)", surplus.len());
+        assert!(
+            epoch < 400,
+            "rebalance did not converge ({} left)",
+            surplus.len()
+        );
         // Tokens walk the virtual graph in lockstep; CONGEST serializes
         // tokens sharing a directed physical edge within a round.
         let mut cur: Vec<VertexId> = surplus.clone();
@@ -275,7 +277,7 @@ fn rebalance_overload(dex: &mut DexNetwork) {
             edge_load.clear();
             for (c, rng) in cur.iter_mut().zip(rngs.iter_mut()) {
                 let nbrs = dex.cycle.neighbors(*c);
-                let next = nbrs[rng.random_range(0..3)];
+                let next = nbrs[rng.random_range(0..3usize)];
                 let (a, b) = (dex.map.owner_of(*c), dex.map.owner_of(next));
                 if a != b {
                     *edge_load.entry((a, b)).or_insert(0) += 1;

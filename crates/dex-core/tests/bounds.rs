@@ -103,7 +103,10 @@ fn loads_and_degrees_bounded_throughout() {
             );
         }
         // Degrees are deterministically O(1) — Theorem 1.
-        assert!(worst_deg <= 16 * worst_load as usize, "{mode:?}: degree {worst_deg}");
+        assert!(
+            worst_deg <= 16 * worst_load as usize,
+            "{mode:?}: degree {worst_deg}"
+        );
         invariants::assert_ok(&dex);
     }
 }

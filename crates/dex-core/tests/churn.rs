@@ -100,7 +100,14 @@ fn staggered_shrink_triggers_deflation_windows() {
     dex = churn(dex, 600, 0.97, 133);
     let grown = dex.n();
     dex = churn(dex, grown - 8, 0.02, 134);
-    assert!(dex.n() <= 24);
+    // With p_insert = 0.02 the expected floor is 8 + 0.04·grown, so assert
+    // the >90% shrink (deflation windows engaged) rather than a constant
+    // that depends on the exact RNG stream.
+    assert!(
+        dex.n() <= 8 + grown / 10,
+        "n {} after shrink from {grown}",
+        dex.n()
+    );
     assert!(dex.spectral_gap() > 0.005);
 }
 

@@ -48,7 +48,6 @@ fn rescuer_assassination_chain() {
                 .graph()
                 .neighbors(victim)
                 .iter()
-                .copied()
                 .filter(|&w| w != victim)
                 .collect();
             nbrs.sort_unstable();
@@ -165,9 +164,7 @@ fn staggered_operation_under_fire() {
         let heavy = net
             .node_ids()
             .into_iter()
-            .max_by_key(|&u| {
-                net.staged_load(u) + net.map.load(u)
-            })
+            .max_by_key(|&u| net.staged_load(u) + net.map.load(u))
             .unwrap();
         if net.n() > 6 {
             net.delete(heavy);

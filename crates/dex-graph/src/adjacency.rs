@@ -1,4 +1,5 @@
-//! A dynamic undirected multigraph with self-loops.
+//! A dynamic undirected multigraph with self-loops, stored in a slot arena
+//! with an incrementally maintained CSR snapshot.
 //!
 //! The real network maintained by DEX is the image of the virtual p-cycle
 //! under a vertex contraction (paper, Sect. 3.1), and contractions produce
@@ -6,42 +7,161 @@
 //! the random-walk operator, and Lemma 1 (λ_G ≤ λ_Z) only holds for the true
 //! contracted multigraph.
 //!
+//! # Storage model: slots
+//!
+//! Nodes live in dense `u32` **slots** with a free-list: inserting a node
+//! reuses the most recently vacated slot (LIFO) or appends a new one, and the
+//! `NodeId ↔ slot` translation is kept at the edge of the API. Neighbor
+//! lists are stored per slot as contiguous `Vec<u32>` of *slot indices*, so
+//! every hot loop — random walks, floods, spectral mat-vecs, expansion
+//! checks — runs on dense indices with no hashing and no per-step heap
+//! allocation. Public entry points still speak [`NodeId`]; use
+//! [`MultiGraph::slot_of`] / [`MultiGraph::id_of_slot`] /
+//! [`MultiGraph::neighbor_slots`] to stay in slot space across a whole loop
+//! (one id→slot resolution, then array reads only).
+//!
+//! # Snapshot model: generation-stamped cached CSR
+//!
+//! Numeric code wants a compact CSR view. Rebuilding it from scratch on
+//! every call is the seed implementation's single biggest cost under churn,
+//! so the graph owns a cached snapshot: every mutation bumps a `generation`
+//! counter and marks the touched rows dirty; [`MultiGraph::csr`] returns a
+//! borrowed, up-to-date snapshot, rebuilding **only dirty rows** (plus the
+//! offset table) when node membership is unchanged, and doing a full
+//! rebuild only when nodes were added or removed. Repeated measurement of
+//! an unchanged graph — the dominant pattern in "mutate, then re-measure
+//! λ₂ / expansion / mixing" experiment loops — reuses the snapshot with no
+//! work beyond a generation compare. [`MultiGraph::to_csr`] still builds an
+//! owned from-scratch copy (the benchmark baseline and test oracle).
+//!
 //! Conventions:
 //! * a self-loop at `u` appears **once** in `adj[u]` and contributes **1** to
 //!   `degree(u)` — this matches Definition 1, where the p-cycle is called
 //!   3-regular with vertex 0 carrying a self-loop;
 //! * a parallel edge appears once per copy;
 //! * `num_edges` counts undirected edges with multiplicity (self-loops
-//!   count 1).
+//!   count 1);
+//! * CSR dense indices order nodes ascending by id (deterministic numerics).
 
 use crate::fxhash::FxHashMap;
 use crate::ids::NodeId;
+use rand::Rng;
+use std::sync::{RwLock, RwLockReadGuard};
 
-/// Dynamic undirected multigraph. See module docs for conventions.
-#[derive(Clone, Default)]
+/// Sentinel generation meaning "snapshot never built".
+const GEN_NONE: u64 = 0;
+
+/// Sentinel dense index for dead slots.
+const NO_DENSE: u32 = u32::MAX;
+
+#[derive(Clone)]
+struct Slot {
+    id: NodeId,
+    alive: bool,
+    /// Neighbor multiset as slot indices; a self-loop appears once.
+    adj: Vec<u32>,
+}
+
+/// Cached CSR snapshot plus the dirty-tracking state that keeps it
+/// incremental. Lives behind a lock so `csr(&self)` can rebuild lazily
+/// while the graph stays `Sync` for parallel measurement.
+struct SnapshotState {
+    /// Generation the snapshot reflects ([`GEN_NONE`] = never built).
+    built: u64,
+    /// Node membership changed since the snapshot (forces full rebuild).
+    membership_dirty: bool,
+    /// Slots whose rows changed since the snapshot (edge churn only).
+    dirty_slots: Vec<u32>,
+    /// Per-slot dirty flag, indexed by slot (deduplicates `dirty_slots`).
+    dirty_mark: Vec<bool>,
+    /// The snapshot itself.
+    csr: Csr,
+    /// slot → dense index ([`NO_DENSE`] for dead slots).
+    dense_of_slot: Vec<u32>,
+    /// Scratch for incremental rebuilds (kept to reuse capacity).
+    scratch_offsets: Vec<u32>,
+    scratch_targets: Vec<u32>,
+}
+
+impl SnapshotState {
+    fn empty() -> Self {
+        SnapshotState {
+            built: GEN_NONE,
+            membership_dirty: true,
+            dirty_slots: Vec::new(),
+            dirty_mark: Vec::new(),
+            csr: Csr {
+                order: Vec::new(),
+                offsets: vec![0],
+                targets: Vec::new(),
+            },
+            dense_of_slot: Vec::new(),
+            scratch_offsets: Vec::new(),
+            scratch_targets: Vec::new(),
+        }
+    }
+}
+
+/// Dynamic undirected multigraph in a slot arena. See module docs.
 pub struct MultiGraph {
-    adj: FxHashMap<NodeId, Vec<NodeId>>,
+    slots: Vec<Slot>,
+    index: FxHashMap<NodeId, u32>,
+    free: Vec<u32>,
+    live: usize,
     num_edges: usize,
+    /// Bumped on every mutation; stamps the CSR snapshot.
+    generation: u64,
+    cache: RwLock<SnapshotState>,
+}
+
+impl Default for MultiGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for MultiGraph {
+    fn clone(&self) -> Self {
+        // The snapshot cache is not cloned: the copy rebuilds on first use.
+        MultiGraph {
+            slots: self.slots.clone(),
+            index: self.index.clone(),
+            free: self.free.clone(),
+            live: self.live,
+            num_edges: self.num_edges,
+            generation: self.generation,
+            cache: RwLock::new(SnapshotState::empty()),
+        }
+    }
 }
 
 impl MultiGraph {
     /// Empty graph.
     pub fn new() -> Self {
-        Self::default()
+        MultiGraph {
+            slots: Vec::new(),
+            index: FxHashMap::default(),
+            free: Vec::new(),
+            live: 0,
+            num_edges: 0,
+            generation: GEN_NONE + 1,
+            cache: RwLock::new(SnapshotState::empty()),
+        }
     }
 
     /// Empty graph with room for `n` nodes.
     pub fn with_capacity(n: usize) -> Self {
-        Self {
-            adj: FxHashMap::with_capacity_and_hasher(n, Default::default()),
-            num_edges: 0,
+        MultiGraph {
+            slots: Vec::with_capacity(n),
+            index: FxHashMap::with_capacity_and_hasher(n, Default::default()),
+            ..Self::new()
         }
     }
 
     /// Number of nodes.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.adj.len()
+        self.live
     }
 
     /// Number of undirected edges, counted with multiplicity
@@ -54,41 +174,156 @@ impl MultiGraph {
     /// Does the graph contain `u`?
     #[inline]
     pub fn has_node(&self, u: NodeId) -> bool {
-        self.adj.contains_key(&u)
+        self.index.contains_key(&u)
+    }
+
+    // ---- slot-space API (hot loops) ---------------------------------------
+
+    /// Slot of node `u`, if present. Resolve once, then stay in slot space.
+    #[inline]
+    pub fn slot_of(&self, u: NodeId) -> Option<u32> {
+        self.index.get(&u).copied()
+    }
+
+    /// Node id stored in `slot`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the slot is dead; callers own liveness.
+    #[inline]
+    pub fn id_of_slot(&self, slot: u32) -> NodeId {
+        debug_assert!(self.slots[slot as usize].alive, "dead slot {slot}");
+        self.slots[slot as usize].id
+    }
+
+    /// Neighbor multiset of `slot` as slot indices (self-loops appear as
+    /// the slot itself, once per loop; parallel edges once per copy).
+    #[inline]
+    pub fn neighbor_slots(&self, slot: u32) -> &[u32] {
+        &self.slots[slot as usize].adj
+    }
+
+    /// Degree of `slot`.
+    #[inline]
+    pub fn degree_of_slot(&self, slot: u32) -> usize {
+        self.slots[slot as usize].adj.len()
+    }
+
+    /// Exclusive upper bound on slot indices currently in use (dead slots
+    /// included). Sizes slot-indexed scratch buffers.
+    #[inline]
+    pub fn slot_bound(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// One uniform random-walk step in slot space: a uniformly random
+    /// adjacency entry, so parallel edges weight their endpoint and a
+    /// self-loop stays put with probability `1/deg`.
+    ///
+    /// # Panics
+    /// Panics if the slot is isolated.
+    #[inline]
+    pub fn step_slot<R: Rng + ?Sized>(&self, slot: u32, rng: &mut R) -> u32 {
+        let adj = &self.slots[slot as usize].adj;
+        assert!(
+            !adj.is_empty(),
+            "random walk stuck at isolated node {}",
+            self.slots[slot as usize].id
+        );
+        adj[rng.random_range(0..adj.len())]
+    }
+
+    /// Walk `len` uniform steps from `slot`; returns the final slot. No
+    /// heap allocation: each hop is two array reads and one RNG draw.
+    #[inline]
+    pub fn walk_slots<R: Rng + ?Sized>(&self, mut slot: u32, len: usize, rng: &mut R) -> u32 {
+        for _ in 0..len {
+            slot = self.step_slot(slot, rng);
+        }
+        slot
+    }
+
+    // ---- mutation ---------------------------------------------------------
+
+    fn mark_row_dirty(&mut self, slot: u32) {
+        let cache = self.cache.get_mut().expect("snapshot lock poisoned");
+        if cache.membership_dirty || cache.built == GEN_NONE {
+            return; // full rebuild pending anyway
+        }
+        if cache.dirty_mark.len() <= slot as usize {
+            cache
+                .dirty_mark
+                .resize(self.slots.len().max(slot as usize + 1), false);
+        }
+        if !cache.dirty_mark[slot as usize] {
+            cache.dirty_mark[slot as usize] = true;
+            cache.dirty_slots.push(slot);
+        }
+    }
+
+    fn mark_membership_dirty(&mut self) {
+        let cache = self.cache.get_mut().expect("snapshot lock poisoned");
+        cache.membership_dirty = true;
+        // Row-level tracking is moot once a full rebuild is pending.
+        for &s in &cache.dirty_slots {
+            cache.dirty_mark[s as usize] = false;
+        }
+        cache.dirty_slots.clear();
     }
 
     /// Insert an isolated node. Returns `false` if it already existed.
     pub fn add_node(&mut self, u: NodeId) -> bool {
-        match self.adj.entry(u) {
-            std::collections::hash_map::Entry::Occupied(_) => false,
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(Vec::new());
-                true
-            }
+        if self.index.contains_key(&u) {
+            return false;
         }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let cell = &mut self.slots[s as usize];
+                debug_assert!(!cell.alive && cell.adj.is_empty());
+                cell.id = u;
+                cell.alive = true;
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("more than u32::MAX nodes");
+                self.slots.push(Slot {
+                    id: u,
+                    alive: true,
+                    adj: Vec::new(),
+                });
+                s
+            }
+        };
+        self.index.insert(u, slot);
+        self.live += 1;
+        self.generation += 1;
+        self.mark_membership_dirty();
+        true
     }
 
     /// Remove `u` and all incident edges (including parallel copies and
     /// loops). Returns the number of undirected edges removed, or `None` if
     /// `u` was not present.
     pub fn remove_node(&mut self, u: NodeId) -> Option<usize> {
-        let incident = self.adj.remove(&u)?;
+        let slot = self.index.remove(&u)?;
+        let incident = std::mem::take(&mut self.slots[slot as usize].adj);
         let mut removed = 0usize;
-        for v in incident {
+        for &v in &incident {
             removed += 1;
-            if v != u {
-                let list = self
-                    .adj
-                    .get_mut(&v)
-                    .expect("adjacency symmetry violated: missing reverse list");
+            if v != slot {
+                let list = &mut self.slots[v as usize].adj;
                 let pos = list
                     .iter()
-                    .position(|&w| w == u)
+                    .position(|&w| w == slot)
                     .expect("adjacency symmetry violated: missing reverse entry");
                 list.swap_remove(pos);
             }
         }
+        self.slots[slot as usize].alive = false;
+        self.free.push(slot);
+        self.live -= 1;
         self.num_edges -= removed;
+        self.generation += 1;
+        self.mark_membership_dirty();
         Some(removed)
     }
 
@@ -98,41 +333,57 @@ impl MultiGraph {
     /// # Panics
     /// Panics if either endpoint is missing — the caller owns membership.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
-        assert!(self.has_node(u), "add_edge: missing endpoint {u}");
-        assert!(self.has_node(v), "add_edge: missing endpoint {v}");
-        if u == v {
-            self.adj.get_mut(&u).unwrap().push(u);
+        let su = *self
+            .index
+            .get(&u)
+            .unwrap_or_else(|| panic!("add_edge: missing endpoint {u}"));
+        let sv = *self
+            .index
+            .get(&v)
+            .unwrap_or_else(|| panic!("add_edge: missing endpoint {v}"));
+        if su == sv {
+            self.slots[su as usize].adj.push(su);
         } else {
-            self.adj.get_mut(&u).unwrap().push(v);
-            self.adj.get_mut(&v).unwrap().push(u);
+            self.slots[su as usize].adj.push(sv);
+            self.slots[sv as usize].adj.push(su);
         }
         self.num_edges += 1;
+        self.generation += 1;
+        self.mark_row_dirty(su);
+        if su != sv {
+            self.mark_row_dirty(sv);
+        }
     }
 
     /// Remove one copy of the undirected edge `{u, v}`. Returns `true` if a
     /// copy existed and was removed.
     pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
-        let Some(lu) = self.adj.get_mut(&u) else {
+        let (Some(&su), Some(&sv)) = (self.index.get(&u), self.index.get(&v)) else {
             return false;
         };
-        let Some(pos) = lu.iter().position(|&w| w == v) else {
+        let lu = &mut self.slots[su as usize].adj;
+        let Some(pos) = lu.iter().position(|&w| w == sv) else {
             return false;
         };
         lu.swap_remove(pos);
-        if u != v {
-            let lv = self
-                .adj
-                .get_mut(&v)
-                .expect("adjacency symmetry violated: missing reverse list");
+        if su != sv {
+            let lv = &mut self.slots[sv as usize].adj;
             let pos = lv
                 .iter()
-                .position(|&w| w == u)
+                .position(|&w| w == su)
                 .expect("adjacency symmetry violated: missing reverse entry");
             lv.swap_remove(pos);
         }
         self.num_edges -= 1;
+        self.generation += 1;
+        self.mark_row_dirty(su);
+        if su != sv {
+            self.mark_row_dirty(sv);
+        }
         true
     }
+
+    // ---- queries ----------------------------------------------------------
 
     /// Degree of `u` (self-loop counts 1, parallel edges count each).
     ///
@@ -140,23 +391,34 @@ impl MultiGraph {
     /// Panics if `u` is not in the graph.
     #[inline]
     pub fn degree(&self, u: NodeId) -> usize {
-        self.adj[&u].len()
+        self.slots[self.index[&u] as usize].adj.len()
     }
 
-    /// Neighbor multiset of `u` (self-loops appear as `u` itself).
+    /// Neighbor multiset of `u` (self-loops appear as `u` itself). The
+    /// returned view yields [`NodeId`]s; iterate it directly or index with
+    /// [`Neighbors::at`]. For tight loops prefer staying in slot space via
+    /// [`MultiGraph::neighbor_slots`].
     ///
     /// # Panics
     /// Panics if `u` is not in the graph.
     #[inline]
-    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
-        &self.adj[&u]
+    pub fn neighbors(&self, u: NodeId) -> Neighbors<'_> {
+        let slot = self.index[&u];
+        Neighbors {
+            graph: self,
+            slots: &self.slots[slot as usize].adj,
+        }
     }
 
     /// Multiplicity of the undirected edge `{u, v}` (0 if absent).
     pub fn edge_multiplicity(&self, u: NodeId, v: NodeId) -> usize {
-        match self.adj.get(&u) {
-            Some(list) => list.iter().filter(|&&w| w == v).count(),
-            None => 0,
+        match (self.index.get(&u), self.index.get(&v)) {
+            (Some(&su), Some(&sv)) => self.slots[su as usize]
+                .adj
+                .iter()
+                .filter(|&&w| w == sv)
+                .count(),
+            _ => 0,
         }
     }
 
@@ -166,15 +428,15 @@ impl MultiGraph {
         self.edge_multiplicity(u, v) > 0
     }
 
-    /// Iterator over node ids (hash order; deterministic for a fixed
-    /// insert/remove history because the hasher is deterministic).
+    /// Iterator over node ids (slot order; deterministic for a fixed
+    /// insert/remove history).
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.adj.keys().copied()
+        self.slots.iter().filter(|s| s.alive).map(|s| s.id)
     }
 
     /// Node ids in ascending order (canonical order for reporting).
     pub fn nodes_sorted(&self) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self.adj.keys().copied().collect();
+        let mut v: Vec<NodeId> = self.nodes().collect();
         v.sort_unstable();
         v
     }
@@ -183,10 +445,11 @@ impl MultiGraph {
     /// yielded once, with endpoints ordered `u <= v`.
     pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
         let mut out = Vec::with_capacity(self.num_edges);
-        for (&u, list) in &self.adj {
-            for &v in list {
-                if u <= v {
-                    out.push((u, v));
+        for s in self.slots.iter().filter(|s| s.alive) {
+            for &v in &s.adj {
+                let vid = self.slots[v as usize].id;
+                if s.id <= vid {
+                    out.push((s.id, vid));
                 }
             }
         }
@@ -195,41 +458,95 @@ impl MultiGraph {
 
     /// Maximum degree over all nodes (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        self.adj.values().map(|l| l.len()).max().unwrap_or(0)
+        self.slots
+            .iter()
+            .filter(|s| s.alive)
+            .map(|s| s.adj.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Minimum degree over all nodes (0 for the empty graph).
     pub fn min_degree(&self) -> usize {
-        self.adj.values().map(|l| l.len()).min().unwrap_or(0)
+        self.slots
+            .iter()
+            .filter(|s| s.alive)
+            .map(|s| s.adj.len())
+            .min()
+            .unwrap_or(0)
     }
 
     /// Sum of all degrees. Equals `2·edges − loops` under our conventions.
     pub fn degree_sum(&self) -> usize {
-        self.adj.values().map(|l| l.len()).sum()
+        self.slots
+            .iter()
+            .filter(|s| s.alive)
+            .map(|s| s.adj.len())
+            .sum()
     }
 
     /// Consistency check: every directed entry has its reverse, edge count
-    /// matches, no dangling endpoints. Used by tests and invariant checkers.
+    /// matches, no dangling endpoints, arena bookkeeping is coherent. Used
+    /// by tests and invariant checkers.
     pub fn validate(&self) -> Result<(), String> {
+        // Arena bookkeeping.
+        let alive = self.slots.iter().filter(|s| s.alive).count();
+        if alive != self.live {
+            return Err(format!("live count {} != alive slots {alive}", self.live));
+        }
+        if self.index.len() != self.live {
+            return Err(format!(
+                "index size {} != live count {}",
+                self.index.len(),
+                self.live
+            ));
+        }
+        for (&id, &slot) in &self.index {
+            let s = self
+                .slots
+                .get(slot as usize)
+                .ok_or_else(|| format!("index maps {id} to out-of-range slot {slot}"))?;
+            if !s.alive || s.id != id {
+                return Err(format!("index maps {id} to stale slot {slot}"));
+            }
+        }
+        for &f in &self.free {
+            let s = &self.slots[f as usize];
+            if s.alive {
+                return Err(format!("free list contains live slot {f}"));
+            }
+            if !s.adj.is_empty() {
+                return Err(format!("dead slot {f} has residual adjacency"));
+            }
+        }
+        // Adjacency symmetry and edge count.
         let mut directed = 0usize;
         let mut loops = 0usize;
-        for (&u, list) in &self.adj {
-            for &v in list {
-                if v == u {
+        for (si, s) in self.slots.iter().enumerate() {
+            if !s.alive {
+                continue;
+            }
+            let si = si as u32;
+            for &v in &s.adj {
+                let t = self
+                    .slots
+                    .get(v as usize)
+                    .ok_or_else(|| format!("edge {}->slot {v} out of range", s.id))?;
+                if !t.alive {
+                    return Err(format!("edge {}->slot {v} dangles: slot dead", s.id));
+                }
+                if v == si {
                     loops += 1;
                     directed += 2; // a loop is its own reverse
                     continue;
                 }
                 directed += 1;
-                let back = self
-                    .adj
-                    .get(&v)
-                    .ok_or_else(|| format!("edge {u}->{v} dangles: {v} missing"))?;
-                let fwd = list.iter().filter(|&&w| w == v).count();
-                let rev = back.iter().filter(|&&w| w == u).count();
+                let fwd = s.adj.iter().filter(|&&w| w == v).count();
+                let rev = t.adj.iter().filter(|&&w| w == si).count();
                 if fwd != rev {
                     return Err(format!(
-                        "asymmetric multiplicity {u}<->{v}: {fwd} vs {rev}"
+                        "asymmetric multiplicity {}<->{}: {fwd} vs {rev}",
+                        s.id, t.id
                     ));
                 }
             }
@@ -244,11 +561,21 @@ impl MultiGraph {
         Ok(())
     }
 
+    // ---- CSR snapshot -----------------------------------------------------
+
+    /// Mutation generation: bumped by every add/remove of a node or edge.
+    /// Two equal generations on the same graph imply identical topology.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Build a compact index: `order[i]` is the node with dense index `i`,
     /// and the returned map sends each node id to its dense index. Order is
     /// ascending by id so that numeric code is deterministic.
     pub fn dense_index(&self) -> (Vec<NodeId>, FxHashMap<NodeId, usize>) {
-        let order = self.nodes_sorted();
+        let csr = self.csr();
+        let order = csr.order.clone();
         let mut map = FxHashMap::with_capacity_and_hasher(order.len(), Default::default());
         for (i, &u) in order.iter().enumerate() {
             map.insert(u, i);
@@ -256,17 +583,126 @@ impl MultiGraph {
         (order, map)
     }
 
-    /// Compressed sparse row form (dense indices) for matrix-free numerics.
-    /// A self-loop contributes a single entry, matching `degree`.
+    /// Borrow the cached CSR snapshot, rebuilding it first if the graph
+    /// mutated since the last call. Edge-only churn refreshes just the
+    /// dirty rows; node churn triggers a full rebuild. O(1) when the graph
+    /// is unchanged. A self-loop contributes a single entry, matching
+    /// `degree`.
+    pub fn csr(&self) -> CsrRef<'_> {
+        {
+            let guard = self.cache.read().expect("snapshot lock poisoned");
+            if guard.built == self.generation {
+                return CsrRef(guard);
+            }
+        }
+        {
+            let mut guard = self.cache.write().expect("snapshot lock poisoned");
+            // Double-checked: another thread may have rebuilt while we
+            // waited for the write lock. (The graph itself cannot mutate
+            // concurrently — mutation needs `&mut self`.)
+            if guard.built != self.generation {
+                self.rebuild_snapshot(&mut guard);
+            }
+        }
+        let guard = self.cache.read().expect("snapshot lock poisoned");
+        debug_assert_eq!(guard.built, self.generation);
+        CsrRef(guard)
+    }
+
+    fn rebuild_snapshot(&self, state: &mut SnapshotState) {
+        if state.membership_dirty || state.built == GEN_NONE {
+            self.rebuild_full(state);
+        } else {
+            self.rebuild_dirty_rows(state);
+        }
+        for &s in &state.dirty_slots {
+            state.dirty_mark[s as usize] = false;
+        }
+        state.dirty_slots.clear();
+        if state.dirty_mark.len() < self.slots.len() {
+            state.dirty_mark.resize(self.slots.len(), false);
+        }
+        state.membership_dirty = false;
+        state.built = self.generation;
+    }
+
+    /// Full rebuild: re-derive dense order (ascending by id) and all rows.
+    fn rebuild_full(&self, state: &mut SnapshotState) {
+        let n = self.live;
+        let csr = &mut state.csr;
+        csr.order.clear();
+        csr.order.extend(self.nodes());
+        csr.order.sort_unstable();
+
+        state.dense_of_slot.clear();
+        state.dense_of_slot.resize(self.slots.len(), NO_DENSE);
+        for (i, &u) in csr.order.iter().enumerate() {
+            state.dense_of_slot[self.index[&u] as usize] = i as u32;
+        }
+
+        csr.offsets.clear();
+        csr.offsets.reserve(n + 1);
+        csr.offsets.push(0);
+        csr.targets.clear();
+        csr.targets.reserve(self.degree_sum());
+        for &u in &csr.order {
+            let slot = self.index[&u];
+            for &v in &self.slots[slot as usize].adj {
+                csr.targets.push(state.dense_of_slot[v as usize]);
+            }
+            csr.offsets.push(csr.targets.len() as u32);
+        }
+    }
+
+    /// Incremental rebuild: node membership (and hence `order` and the
+    /// slot→dense map) is unchanged; re-derive only rows whose slot is
+    /// dirty and memcpy the rest from the previous snapshot.
+    fn rebuild_dirty_rows(&self, state: &mut SnapshotState) {
+        let csr = &mut state.csr;
+        let n = csr.order.len();
+        debug_assert_eq!(n, self.live);
+        let new_offsets = &mut state.scratch_offsets;
+        let new_targets = &mut state.scratch_targets;
+        new_offsets.clear();
+        new_offsets.reserve(n + 1);
+        new_offsets.push(0);
+        new_targets.clear();
+        new_targets.reserve(self.degree_sum());
+        for (i, &u) in csr.order.iter().enumerate() {
+            let slot = self.index[&u] as usize;
+            if state.dirty_mark.get(slot).copied().unwrap_or(false) {
+                for &v in &self.slots[slot].adj {
+                    new_targets.push(state.dense_of_slot[v as usize]);
+                }
+            } else {
+                let (lo, hi) = (csr.offsets[i] as usize, csr.offsets[i + 1] as usize);
+                new_targets.extend_from_slice(&csr.targets[lo..hi]);
+            }
+            new_offsets.push(new_targets.len() as u32);
+        }
+        std::mem::swap(&mut csr.offsets, new_offsets);
+        std::mem::swap(&mut csr.targets, new_targets);
+    }
+
+    /// Compressed sparse row form (dense indices) built from scratch into
+    /// an owned value, bypassing the cache. This is the seed
+    /// implementation's rebuild-per-call path — kept as the benchmark
+    /// baseline and as the oracle the cache-coherence tests compare
+    /// against. Prefer [`MultiGraph::csr`].
     pub fn to_csr(&self) -> Csr {
-        let (order, map) = self.dense_index();
-        let n = order.len();
-        let mut offsets = Vec::with_capacity(n + 1);
+        let mut order: Vec<NodeId> = self.nodes().collect();
+        order.sort_unstable();
+        let mut dense_of_slot = vec![NO_DENSE; self.slots.len()];
+        for (i, &u) in order.iter().enumerate() {
+            dense_of_slot[self.index[&u] as usize] = i as u32;
+        }
+        let mut offsets = Vec::with_capacity(order.len() + 1);
         let mut targets = Vec::with_capacity(self.degree_sum());
         offsets.push(0u32);
         for &u in &order {
-            for &v in &self.adj[&u] {
-                targets.push(map[&v] as u32);
+            let slot = self.index[&u];
+            for &v in &self.slots[slot as usize].adj {
+                targets.push(dense_of_slot[v as usize]);
             }
             offsets.push(targets.len() as u32);
         }
@@ -282,17 +718,115 @@ impl std::fmt::Debug for MultiGraph {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "MultiGraph(n={}, m={}, Δ={})",
+            "MultiGraph(n={}, m={}, Δ={}, gen={})",
             self.num_nodes(),
             self.num_edges(),
-            self.max_degree()
+            self.max_degree(),
+            self.generation,
         )
     }
 }
 
+/// Borrowed view of a node's neighbor multiset, yielding [`NodeId`]s while
+/// the underlying storage stays in slot space.
+#[derive(Clone, Copy)]
+pub struct Neighbors<'g> {
+    graph: &'g MultiGraph,
+    slots: &'g [u32],
+}
+
+impl<'g> Neighbors<'g> {
+    /// Number of entries (= degree).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Is the neighbor list empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Id of the `i`-th adjacency entry.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn at(&self, i: usize) -> NodeId {
+        self.graph.id_of_slot(self.slots[i])
+    }
+
+    /// Iterate entries as node ids.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + 'g {
+        let graph = self.graph;
+        self.slots.iter().map(move |&s| graph.id_of_slot(s))
+    }
+
+    /// Underlying slot indices (for loops that stay in slot space).
+    #[inline]
+    pub fn slot_indices(&self) -> &'g [u32] {
+        self.slots
+    }
+
+    /// Does the multiset contain `v`?
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.iter().any(|w| w == v)
+    }
+
+    /// Copy out as a vector of ids.
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        self.iter().collect()
+    }
+}
+
+impl<'g> IntoIterator for Neighbors<'g> {
+    type Item = NodeId;
+    type IntoIter = NeighborsIter<'g>;
+
+    fn into_iter(self) -> NeighborsIter<'g> {
+        NeighborsIter {
+            graph: self.graph,
+            inner: self.slots.iter(),
+        }
+    }
+}
+
+impl<'g> IntoIterator for &Neighbors<'g> {
+    type Item = NodeId;
+    type IntoIter = NeighborsIter<'g>;
+
+    fn into_iter(self) -> NeighborsIter<'g> {
+        (*self).into_iter()
+    }
+}
+
+/// Iterator over a [`Neighbors`] view.
+pub struct NeighborsIter<'g> {
+    graph: &'g MultiGraph,
+    inner: std::slice::Iter<'g, u32>,
+}
+
+impl Iterator for NeighborsIter<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        self.inner.next().map(|&s| self.graph.id_of_slot(s))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for NeighborsIter<'_> {}
+
 /// Compressed sparse row view of a [`MultiGraph`] snapshot.
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Csr {
-    /// Dense-index → node id.
+    /// Dense-index → node id (ascending by id).
     pub order: Vec<NodeId>,
     /// Row offsets, length `n + 1`.
     pub offsets: Vec<u32>,
@@ -317,6 +851,21 @@ impl Csr {
     #[inline]
     pub fn degree(&self, i: usize) -> usize {
         (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+}
+
+/// Borrow of the cached CSR snapshot (see [`MultiGraph::csr`]). Derefs to
+/// [`Csr`]; holding it does not block other readers, and mutation is
+/// statically impossible while it lives (mutating methods need
+/// `&mut MultiGraph`).
+pub struct CsrRef<'g>(RwLockReadGuard<'g, SnapshotState>);
+
+impl std::ops::Deref for CsrRef<'_> {
+    type Target = Csr;
+
+    #[inline]
+    fn deref(&self) -> &Csr {
+        &self.0.csr
     }
 }
 
@@ -442,5 +991,121 @@ mod tests {
         let mut g = MultiGraph::new();
         g.add_node(n(0));
         g.add_edge(n(0), n(1));
+    }
+
+    // ---- arena / snapshot behaviour ---------------------------------------
+
+    #[test]
+    fn slots_are_reused_after_removal() {
+        let mut g = MultiGraph::new();
+        for i in 0..4 {
+            g.add_node(n(i));
+        }
+        assert_eq!(g.slot_bound(), 4);
+        g.remove_node(n(1)).unwrap();
+        g.remove_node(n(3)).unwrap();
+        g.add_node(n(10));
+        g.add_node(n(11));
+        // Freed slots were recycled: the arena did not grow.
+        assert_eq!(g.slot_bound(), 4);
+        assert_eq!(g.num_nodes(), 4);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn slot_space_round_trips() {
+        let g = triangle();
+        for u in g.nodes() {
+            let s = g.slot_of(u).unwrap();
+            assert_eq!(g.id_of_slot(s), u);
+            assert_eq!(g.degree_of_slot(s), g.degree(u));
+            let via_slots: Vec<NodeId> = g
+                .neighbor_slots(s)
+                .iter()
+                .map(|&t| g.id_of_slot(t))
+                .collect();
+            assert_eq!(via_slots, g.neighbors(u).to_vec());
+        }
+        assert_eq!(g.slot_of(n(99)), None);
+    }
+
+    #[test]
+    fn neighbors_view_api() {
+        let mut g = triangle();
+        g.add_edge(n(0), n(0));
+        let nbrs = g.neighbors(n(0));
+        assert_eq!(nbrs.len(), 3);
+        assert!(!nbrs.is_empty());
+        assert!(nbrs.contains(n(0)) && nbrs.contains(n(1)) && nbrs.contains(n(2)));
+        let mut collected: Vec<NodeId> = nbrs.iter().collect();
+        collected.sort_unstable();
+        assert_eq!(collected, vec![n(0), n(1), n(2)]);
+        let mut by_index: Vec<NodeId> = (0..nbrs.len()).map(|i| nbrs.at(i)).collect();
+        by_index.sort_unstable();
+        assert_eq!(by_index, collected);
+        let mut by_for: Vec<NodeId> = Vec::new();
+        for v in g.neighbors(n(0)) {
+            by_for.push(v);
+        }
+        by_for.sort_unstable();
+        assert_eq!(by_for, collected);
+    }
+
+    #[test]
+    fn cached_csr_matches_rebuild_after_edge_churn() {
+        let mut g = triangle();
+        assert_eq!(*g.csr(), g.to_csr());
+        g.add_edge(n(0), n(2));
+        g.add_edge(n(1), n(1));
+        assert_eq!(*g.csr(), g.to_csr());
+        g.remove_edge(n(0), n(1));
+        assert_eq!(*g.csr(), g.to_csr());
+    }
+
+    #[test]
+    fn cached_csr_matches_rebuild_after_node_churn() {
+        let mut g = triangle();
+        let _ = g.csr();
+        g.remove_node(n(1)).unwrap();
+        assert_eq!(*g.csr(), g.to_csr());
+        g.add_node(n(7));
+        g.add_edge(n(7), n(0));
+        assert_eq!(*g.csr(), g.to_csr());
+    }
+
+    #[test]
+    fn csr_is_cached_until_mutation() {
+        let mut g = triangle();
+        let gen0 = g.generation();
+        let _ = g.csr();
+        let _ = g.csr();
+        assert_eq!(g.generation(), gen0, "read-only csr() must not mutate");
+        g.add_edge(n(0), n(1));
+        assert!(g.generation() > gen0);
+        assert_eq!(*g.csr(), g.to_csr());
+    }
+
+    #[test]
+    fn clone_rebuilds_snapshot_independently() {
+        let mut g = triangle();
+        let _ = g.csr();
+        let mut h = g.clone();
+        h.add_edge(n(0), n(1));
+        assert_eq!(*h.csr(), h.to_csr());
+        g.remove_edge(n(1), n(2));
+        assert_eq!(*g.csr(), g.to_csr());
+    }
+
+    #[test]
+    fn walk_slots_stays_in_graph() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let g = triangle();
+        let mut rng = StdRng::seed_from_u64(1);
+        let start = g.slot_of(n(0)).unwrap();
+        for len in [0, 1, 5, 50] {
+            let end = g.walk_slots(start, len, &mut rng);
+            assert!(g.has_node(g.id_of_slot(end)));
+        }
     }
 }

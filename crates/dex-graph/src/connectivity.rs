@@ -16,7 +16,7 @@ pub fn bfs_distances(g: &MultiGraph, src: NodeId) -> FxHashMap<NodeId, u32> {
     queue.push_back(src);
     while let Some(u) = queue.pop_front() {
         let du = dist[&u];
-        for &v in g.neighbors(u) {
+        for v in g.neighbors(u) {
             if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
                 e.insert(du + 1);
                 queue.push_back(v);

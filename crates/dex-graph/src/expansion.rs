@@ -14,7 +14,7 @@ pub const MAX_EXACT_N: usize = 24;
 /// [`MAX_EXACT_N`] nodes or fewer than 2 nodes. Self-loops never cross a
 /// cut; parallel edges count with multiplicity.
 pub fn edge_expansion(g: &MultiGraph) -> Option<f64> {
-    let csr = g.to_csr();
+    let csr = g.csr();
     let n = csr.n();
     if !(2..=MAX_EXACT_N).contains(&n) {
         return None;
@@ -48,7 +48,7 @@ pub fn edge_expansion(g: &MultiGraph) -> Option<f64> {
 /// Exact conductance `φ(G) = min_S cut(S) / min(vol S, vol S̄)` with
 /// volume = degree sum. Same size limit as [`edge_expansion`].
 pub fn conductance(g: &MultiGraph) -> Option<f64> {
-    let csr = g.to_csr();
+    let csr = g.csr();
     let n = csr.n();
     if !(2..=MAX_EXACT_N).contains(&n) {
         return None;

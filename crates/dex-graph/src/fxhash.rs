@@ -96,7 +96,11 @@ mod tests {
             low_bits.insert(h.finish() & 0x3ff);
         }
         // With 1024 keys into 1024 buckets we expect good coverage.
-        assert!(low_bits.len() > 600, "low-bit spread too poor: {}", low_bits.len());
+        assert!(
+            low_bits.len() > 600,
+            "low-bit spread too poor: {}",
+            low_bits.len()
+        );
     }
 
     #[test]

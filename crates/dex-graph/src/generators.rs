@@ -190,7 +190,7 @@ mod tests {
             assert!(g.nodes().all(|u| g.degree(u) == d), "n={n} d={d}");
             for u in g.nodes() {
                 assert_eq!(g.edge_multiplicity(u, u), 0, "loop at {u}");
-                for &v in g.neighbors(u) {
+                for v in g.neighbors(u) {
                     assert!(g.edge_multiplicity(u, v) <= 1, "parallel {u}-{v}");
                 }
             }

@@ -21,9 +21,23 @@
 //!   cycles (the Law–Siu baseline substrate), rings, cliques, hypercubes.
 //! * [`walks`] — a random-walk engine and mixing-time estimation.
 //! * [`connectivity`] — BFS/DFS, components, diameter.
+//! * [`par`] — deterministic chunked parallelism for the numeric engines.
 //!
-//! All structures are deterministic given an RNG seed; nothing here performs
-//! I/O or spawns threads.
+//! # Storage and snapshot model
+//!
+//! [`adjacency::MultiGraph`] stores nodes in a dense **slot arena** (u32
+//! slots, free-list reuse) with neighbor lists as contiguous slot-index
+//! vectors, and owns a **generation-stamped cached CSR snapshot**:
+//! mutations bump a generation counter and mark dirty rows;
+//! [`adjacency::MultiGraph::csr`] returns a borrowed up-to-date snapshot,
+//! refreshing only dirty rows under edge churn. Hot loops (walks, floods,
+//! mat-vecs, expansion checks) run on dense indices with no hashing and no
+//! per-step allocation; see the `adjacency` module docs for the
+//! conventions.
+//!
+//! All structures are deterministic given an RNG seed, **including** the
+//! parallel numeric paths: chunked reductions make results bit-identical
+//! for every thread count.
 
 pub mod adjacency;
 pub mod connectivity;
@@ -32,11 +46,13 @@ pub mod expansion;
 pub mod fxhash;
 pub mod generators;
 pub mod ids;
+pub mod par;
 pub mod pcycle;
 pub mod primes;
 pub mod spectral;
 pub mod walks;
 
-pub use adjacency::MultiGraph;
+pub use adjacency::{Csr, CsrRef, MultiGraph, Neighbors};
 pub use ids::{NodeId, VertexId};
 pub use pcycle::PCycle;
+pub use spectral::Lambda2Solver;

@@ -5,6 +5,10 @@
 //! (paper, Lemma 2). This module provides the walk primitive used by tests
 //! and analysis tooling; the *protocol* walk (token forwarding with round
 //! accounting) lives in `dex-core::walk` and must match this semantics.
+//!
+//! Walks run in the graph's dense slot space: the public [`NodeId`]
+//! entry points resolve the id→slot translation once, then every hop is
+//! two array reads and one RNG draw — no hashing, no heap allocation.
 
 use crate::adjacency::MultiGraph;
 use crate::ids::NodeId;
@@ -14,18 +18,18 @@ use rand::Rng;
 /// parallel edges weight their endpoint proportionally and a self-loop
 /// stays put with probability `1/deg(u)`.
 pub fn step<R: Rng + ?Sized>(g: &MultiGraph, u: NodeId, rng: &mut R) -> NodeId {
-    let nbrs = g.neighbors(u);
-    assert!(!nbrs.is_empty(), "random walk stuck at isolated node {u}");
-    nbrs[rng.random_range(0..nbrs.len())]
+    let slot = g
+        .slot_of(u)
+        .unwrap_or_else(|| panic!("random walk from missing node {u}"));
+    g.id_of_slot(g.step_slot(slot, rng))
 }
 
 /// Walk `len` steps from `start`; returns the endpoint.
 pub fn walk<R: Rng + ?Sized>(g: &MultiGraph, start: NodeId, len: usize, rng: &mut R) -> NodeId {
-    let mut cur = start;
-    for _ in 0..len {
-        cur = step(g, cur, rng);
-    }
-    cur
+    let slot = g
+        .slot_of(start)
+        .unwrap_or_else(|| panic!("random walk from missing node {start}"));
+    g.id_of_slot(g.walk_slots(slot, len, rng))
 }
 
 /// Walk `len` steps from `start`; returns the full path (len+1 nodes).
@@ -37,10 +41,12 @@ pub fn walk_path<R: Rng + ?Sized>(
 ) -> Vec<NodeId> {
     let mut path = Vec::with_capacity(len + 1);
     path.push(start);
-    let mut cur = start;
+    let mut slot = g
+        .slot_of(start)
+        .unwrap_or_else(|| panic!("random walk from missing node {start}"));
     for _ in 0..len {
-        cur = step(g, cur, rng);
-        path.push(cur);
+        slot = g.step_slot(slot, rng);
+        path.push(g.id_of_slot(slot));
     }
     path
 }
@@ -48,7 +54,7 @@ pub fn walk_path<R: Rng + ?Sized>(
 /// Total-variation distance of the `t`-step *lazy* walk distribution from
 /// stationarity, starting at `start`. Dense O(t·m); for analysis and tests.
 pub fn tv_distance_after(g: &MultiGraph, start: NodeId, t: usize) -> f64 {
-    let csr = g.to_csr();
+    let csr = g.csr();
     let n = csr.n();
     let idx = csr
         .order

@@ -120,6 +120,41 @@ proptest! {
     }
 
     #[test]
+    fn csr_cache_coherent_under_random_churn(
+        script in proptest::collection::vec((0u8..4, 0u64..12, 0u64..12), 1..250),
+        check_every in 1usize..8
+    ) {
+        // The generation-stamped CSR snapshot must be indistinguishable
+        // from a from-scratch rebuild — same order, offsets, targets (and
+        // hence degrees) — after any add/remove node/edge sequence.
+        // Checking every `check_every` ops (not every op) makes sure the
+        // incremental rebuild handles *batches* of dirty rows, and the
+        // final check catches anything the cadence skipped.
+        let mut g = MultiGraph::new();
+        for (i, (op, a, b)) in script.iter().enumerate() {
+            let (u, v) = (NodeId(*a), NodeId(*b));
+            match op {
+                0 => { g.add_node(u); }
+                1 => { g.remove_node(u); }
+                2 => {
+                    if g.has_node(u) && g.has_node(v) {
+                        g.add_edge(u, v);
+                    }
+                }
+                _ => { g.remove_edge(u, v); }
+            }
+            if i % check_every == 0 {
+                let fresh = g.to_csr();
+                let cached = g.csr();
+                prop_assert_eq!(&*cached, &fresh, "snapshot diverged at op {}", i);
+            }
+        }
+        let fresh = g.to_csr();
+        let cached = g.csr();
+        prop_assert_eq!(&*cached, &fresh, "snapshot diverged at end");
+    }
+
+    #[test]
     fn bfs_distance_symmetric_on_pcycle(p in arb_prime(), a in 0u64..4000, b in 0u64..4000) {
         let z = PCycle::new(p);
         let (a, b) = (VertexId(a % p), VertexId(b % p));

@@ -35,8 +35,12 @@ pub fn broadcast(net: &mut DexNetwork, source: NodeId) -> BroadcastOutcome {
         let du = dist[&u];
         ecc = ecc.max(du);
         let deg = g.degree(u) as u64;
-        messages += if u == source { deg } else { deg.saturating_sub(1) };
-        for &v in g.neighbors(u) {
+        messages += if u == source {
+            deg
+        } else {
+            deg.saturating_sub(1)
+        };
+        for v in g.neighbors(u) {
             if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
                 e.insert(du + 1);
                 queue.push_back(v);

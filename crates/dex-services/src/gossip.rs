@@ -45,7 +45,7 @@ pub fn push_pull<R: Rng + ?Sized>(
             if nbrs.is_empty() {
                 continue;
             }
-            let partner = nbrs[rng.random_range(0..nbrs.len())];
+            let partner = nbrs.at(rng.random_range(0..nbrs.len()));
             messages += 1; // the exchange
             match (informed.contains(&u), informed.contains(&partner)) {
                 (true, false) => newly.push(partner), // push

@@ -55,11 +55,7 @@ pub fn send_multipath<R: Rng + ?Sized>(
             }
             // Uniform live neighbor; each dead probe costs one message.
             let nbrs = g.neighbors(cur);
-            let live: Vec<NodeId> = nbrs
-                .iter()
-                .copied()
-                .filter(|w| !crashed.contains(w))
-                .collect();
+            let live: Vec<NodeId> = nbrs.iter().filter(|w| !crashed.contains(w)).collect();
             total_hops += (nbrs.len() - live.len()) as u64 / 4; // amortized probes
             if live.is_empty() {
                 break; // fully isolated — copy lost
@@ -146,10 +142,7 @@ mod tests {
     #[test]
     fn works_during_type2_recovery() {
         // Grow until a staggered inflation is mid-flight, then deliver.
-        let mut net = dex_core::DexNetwork::bootstrap(
-            dex_core::DexConfig::new(5).staggered(),
-            8,
-        );
+        let mut net = dex_core::DexNetwork::bootstrap(dex_core::DexConfig::new(5).staggered(), 8);
         let mut rng = StdRng::seed_from_u64(6);
         let mut in_type2 = false;
         for _ in 0..3000 {
@@ -166,15 +159,7 @@ mod tests {
         let (src, dst) = (ids[0], ids[ids.len() - 1]);
         let budget = net.cfg.walk_len(net.cycle.p()) * 8;
         net.net.begin_step();
-        let out = send_multipath(
-            &mut net,
-            src,
-            dst,
-            4,
-            budget,
-            &Default::default(),
-            &mut rng,
-        );
+        let out = send_multipath(&mut net, src, dst, 4, budget, &Default::default(), &mut rng);
         net.net
             .end_step(dex_sim::StepKind::Insert, dex_sim::RecoveryKind::Type1);
         assert!(out.delivered > 0, "no copy arrived during type-2");

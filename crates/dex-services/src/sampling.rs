@@ -36,7 +36,7 @@ pub fn stationary_sample<R: Rng + ?Sized>(
     let mut cur = from;
     for _ in 0..len {
         let nbrs = net.net.graph().neighbors(cur);
-        cur = nbrs[rng.random_range(0..nbrs.len())];
+        cur = nbrs.at(rng.random_range(0..nbrs.len()));
     }
     net.net.charge_rounds(len);
     net.net.charge_messages(len);
@@ -57,7 +57,7 @@ pub fn uniform_sample<R: Rng + ?Sized>(
     for _ in 0..len {
         let g = net.net.graph();
         let nbrs = g.neighbors(cur);
-        let cand = nbrs[rng.random_range(0..nbrs.len())];
+        let cand = nbrs.at(rng.random_range(0..nbrs.len()));
         messages += 1;
         if cand == cur {
             continue;
@@ -123,7 +123,11 @@ mod tests {
         // Correlation between count and degree should be positive: the
         // most-visited node should have above-average degree.
         let g = net.graph();
-        let best = counts.iter().max_by_key(|(_, &c)| c).map(|(&u, _)| u).unwrap();
+        let best = counts
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .map(|(&u, _)| u)
+            .unwrap();
         let avg_deg = g.degree_sum() as f64 / g.num_nodes() as f64;
         assert!(
             g.degree(best) as f64 >= avg_deg,
@@ -139,11 +143,14 @@ mod tests {
         let src_small = small.node_ids()[0];
         small.net.begin_step();
         let (_, c_small) = uniform_sample(&mut small, src_small, &mut rng);
-        small.net.end_step(dex_sim::StepKind::Insert, dex_sim::RecoveryKind::Type1);
+        small
+            .net
+            .end_step(dex_sim::StepKind::Insert, dex_sim::RecoveryKind::Type1);
         let src_big = big.node_ids()[0];
         big.net.begin_step();
         let (_, c_big) = uniform_sample(&mut big, src_big, &mut rng);
-        big.net.end_step(dex_sim::StepKind::Insert, dex_sim::RecoveryKind::Type1);
+        big.net
+            .end_step(dex_sim::StepKind::Insert, dex_sim::RecoveryKind::Type1);
         // 16× nodes: cost grows by the log factor only.
         assert!(c_big.steps < c_small.steps * 3, "{c_small:?} vs {c_big:?}");
     }

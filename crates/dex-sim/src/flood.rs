@@ -6,11 +6,36 @@
 //! converge back up the implicit BFS tree. Cost charged: one message per
 //! directed edge during the broadcast (`degree sum`), one message per
 //! non-root node during the convergecast, and `2·ecc(root)` rounds.
+//!
+//! The BFS runs in the graph's dense slot space with reusable scratch
+//! buffers ([`FloodScratch`]): after the one-time buffer sizing, a flood
+//! performs no hashing and no per-node heap allocation. DEX floods the
+//! network on every type-2 step, so callers that flood repeatedly should
+//! hold a scratch and use [`flood_count_with`].
 
 use crate::network::Network;
-use dex_graph::fxhash::FxHashMap;
 use dex_graph::ids::NodeId;
 use std::collections::VecDeque;
+
+/// Sentinel distance for unvisited slots.
+const UNSEEN: u32 = u32::MAX;
+
+/// Reusable BFS scratch for [`flood_count_with`]. One instance per driver
+/// is enough; buffers grow to the network's slot bound and stay allocated.
+#[derive(Default)]
+pub struct FloodScratch {
+    /// Slot-indexed BFS distance ([`UNSEEN`] = not reached).
+    dist: Vec<u32>,
+    /// BFS frontier of slot indices.
+    queue: VecDeque<u32>,
+}
+
+impl FloodScratch {
+    /// Fresh (empty) scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Outcome of a flood-aggregate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,41 +52,62 @@ pub struct FloodResult {
 }
 
 /// Flood from `root`, count nodes satisfying `pred`, converge-cast back.
-pub fn flood_count(
+/// Convenience wrapper allocating a throwaway [`FloodScratch`]; repeated
+/// callers should keep one and use [`flood_count_with`].
+pub fn flood_count(net: &mut Network, root: NodeId, pred: impl Fn(NodeId) -> bool) -> FloodResult {
+    flood_count_with(net, root, pred, &mut FloodScratch::new())
+}
+
+/// Flood from `root` using caller-provided scratch buffers. See
+/// [`flood_count`] for semantics and cost accounting.
+pub fn flood_count_with(
     net: &mut Network,
     root: NodeId,
     pred: impl Fn(NodeId) -> bool,
+    scratch: &mut FloodScratch,
 ) -> FloodResult {
-    let g = net.graph();
-    assert!(g.has_node(root), "flood root {root} missing");
-    let mut dist: FxHashMap<NodeId, u32> = FxHashMap::default();
-    let mut queue = VecDeque::new();
-    dist.insert(root, 0);
-    queue.push_back(root);
-    let mut ecc = 0u32;
-    let mut broadcast_msgs = 0u64;
-    let mut matching = 0usize;
-    while let Some(u) = queue.pop_front() {
-        let du = dist[&u];
-        ecc = ecc.max(du);
-        if pred(u) {
-            matching += 1;
-        }
-        // On first receipt a node forwards to all neighbors (except the
-        // sender); we charge its full degree minus one for non-roots, the
-        // full degree for the root. Parallel edges each carry a copy (the
-        // node cannot know its parallel edges lead to the same peer without
-        // extra protocol).
-        let deg = g.degree(u) as u64;
-        broadcast_msgs += if u == root { deg } else { deg.saturating_sub(1) };
-        for &v in g.neighbors(u) {
-            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
-                e.insert(du + 1);
-                queue.push_back(v);
+    let (n, matching, ecc, broadcast_msgs) = {
+        let g = net.graph();
+        let root_slot = g
+            .slot_of(root)
+            .unwrap_or_else(|| panic!("flood root {root} missing"));
+        scratch.dist.clear();
+        scratch.dist.resize(g.slot_bound(), UNSEEN);
+        scratch.queue.clear();
+        scratch.dist[root_slot as usize] = 0;
+        scratch.queue.push_back(root_slot);
+        let mut reached = 0usize;
+        let mut ecc = 0u32;
+        let mut broadcast_msgs = 0u64;
+        let mut matching = 0usize;
+        while let Some(u) = scratch.queue.pop_front() {
+            let du = scratch.dist[u as usize];
+            ecc = ecc.max(du);
+            reached += 1;
+            if pred(g.id_of_slot(u)) {
+                matching += 1;
+            }
+            // On first receipt a node forwards to all neighbors (except the
+            // sender); we charge its full degree minus one for non-roots,
+            // the full degree for the root. Parallel edges each carry a
+            // copy (the node cannot know its parallel edges lead to the
+            // same peer without extra protocol).
+            let nbrs = g.neighbor_slots(u);
+            let deg = nbrs.len() as u64;
+            broadcast_msgs += if u == root_slot {
+                deg
+            } else {
+                deg.saturating_sub(1)
+            };
+            for &v in nbrs {
+                if scratch.dist[v as usize] == UNSEEN {
+                    scratch.dist[v as usize] = du + 1;
+                    scratch.queue.push_back(v);
+                }
             }
         }
-    }
-    let n = dist.len();
+        (reached, matching, ecc, broadcast_msgs)
+    };
     let convergecast_msgs = (n as u64).saturating_sub(1);
     let rounds = 2 * ecc as u64;
     let messages = broadcast_msgs + convergecast_msgs;
@@ -137,6 +183,22 @@ mod tests {
         assert_eq!(r.n, 1);
         assert_eq!(r.matching, 1);
         assert_eq!(r.rounds, 0);
+        net.end_step(StepKind::Insert, RecoveryKind::Type1);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_allocation() {
+        let mut net = ring_net(12);
+        let mut scratch = FloodScratch::new();
+        net.begin_step();
+        let a = flood_count_with(&mut net, NodeId(0), |u| u.0 < 6, &mut scratch);
+        let b = flood_count(&mut net, NodeId(0), |u| u.0 < 6);
+        assert_eq!(a, b);
+        // Mutate, re-flood with the same scratch: results track the graph.
+        net.adversary_remove_node(NodeId(6));
+        let c = flood_count_with(&mut net, NodeId(0), |u| u.0 < 6, &mut scratch);
+        assert_eq!(c.n, 11);
+        assert_eq!(c.matching, 6);
         net.end_step(StepKind::Insert, RecoveryKind::Type1);
     }
 }

@@ -60,7 +60,10 @@ impl Network {
 
     /// Adversary inserts an isolated node.
     pub fn adversary_add_node(&mut self, u: NodeId) {
-        assert!(self.graph.add_node(u), "adversary inserted existing node {u}");
+        assert!(
+            self.graph.add_node(u),
+            "adversary inserted existing node {u}"
+        );
     }
 
     /// Adversary attaches an edge (e.g. the initial connection of an

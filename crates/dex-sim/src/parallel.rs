@@ -1,11 +1,15 @@
-//! Deterministic fork-join parallelism helpers (crossbeam scoped threads).
+//! Deterministic fork-join parallelism helpers (std scoped threads).
 //!
 //! Used by the measurement harness for embarrassingly parallel work such as
-//! computing spectral gaps over hundreds of topology snapshots. Output
-//! order always equals input order, so parallel and sequential runs are
-//! interchangeable — a determinism test enforces it.
+//! computing spectral gaps over hundreds of topology snapshots, or driving
+//! thousands of independent random walks. Output order always equals input
+//! order and results never depend on the thread count, so parallel and
+//! sequential runs are interchangeable — determinism tests enforce it.
 
-use crossbeam::thread;
+use dex_graph::adjacency::MultiGraph;
+use dex_graph::ids::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Parallel map preserving input order. Splits `items` into contiguous
 /// chunks, one per worker; workers write into disjoint output slices, so no
@@ -26,7 +30,7 @@ where
     let workers = threads.min(n);
     let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
     let chunk = n.div_ceil(workers);
-    thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut rest: &mut [Option<U>] = &mut out;
         let mut offset = 0usize;
         let f = &f;
@@ -34,7 +38,7 @@ where
             let take = chunk.min(rest.len());
             let (head, tail) = rest.split_at_mut(take);
             let slice_items = &items[offset..offset + take];
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (slot, item) in head.iter_mut().zip(slice_items) {
                     *slot = Some(f(item));
                 }
@@ -42,11 +46,41 @@ where
             rest = tail;
             offset += take;
         }
-    })
-    .expect("worker panicked");
+    });
     out.into_iter()
         .map(|o| o.expect("all slots filled"))
         .collect()
+}
+
+/// One batch-walk job: start node, walk length, and an RNG seed. Seeds are
+/// carried per job (not derived from job position at run time) so a batch
+/// can be split, filtered, or re-ordered without changing any endpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct WalkJob {
+    /// Start node (must be in the graph when the batch runs).
+    pub start: NodeId,
+    /// Number of hops.
+    pub len: usize,
+    /// Per-walk RNG seed.
+    pub seed: u64,
+}
+
+/// Endpoints of a batch of independent random walks, computed in parallel
+/// over `threads` workers. Walk `i` of the output corresponds to
+/// `jobs[i]`; every walk derives its randomness exclusively from its own
+/// `seed`, so results are identical for any thread count (a determinism
+/// test enforces this).
+///
+/// Walks run on the graph's dense slot space: after one id→slot resolution
+/// per job, each hop is two array reads and no heap allocation.
+pub fn par_walk_endpoints(g: &MultiGraph, jobs: &[WalkJob], threads: usize) -> Vec<NodeId> {
+    par_map(jobs, threads, |job| {
+        let mut rng = StdRng::seed_from_u64(job.seed);
+        let slot = g
+            .slot_of(job.start)
+            .unwrap_or_else(|| panic!("walk start {} not in graph", job.start));
+        g.id_of_slot(g.walk_slots(slot, job.len, &mut rng))
+    })
 }
 
 /// Number of worker threads to use by default: available parallelism
@@ -61,6 +95,7 @@ pub fn default_threads() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dex_graph::PCycle;
 
     #[test]
     fn matches_sequential_map() {
@@ -90,5 +125,28 @@ mod tests {
     fn default_threads_sane() {
         let t = default_threads();
         assert!((1..=16).contains(&t));
+    }
+
+    #[test]
+    fn batch_walks_deterministic_across_thread_counts() {
+        let g = PCycle::new(101).to_multigraph();
+        let jobs: Vec<WalkJob> = (0..64)
+            .map(|i| WalkJob {
+                start: NodeId(i % 101),
+                len: 30,
+                seed: 0xabcd ^ i,
+            })
+            .collect();
+        let seq = par_walk_endpoints(&g, &jobs, 1);
+        for threads in [2, 4, 16] {
+            assert_eq!(
+                par_walk_endpoints(&g, &jobs, threads),
+                seq,
+                "threads={threads}"
+            );
+        }
+        for &u in &seq {
+            assert!(g.has_node(u));
+        }
     }
 }

@@ -34,6 +34,10 @@ pub struct WalkOutcome {
 /// has the initiator send the token out before any membership test).
 ///
 /// Charges 1 round + 1 message per hop.
+///
+/// The walk runs in the graph's dense slot space: ids are resolved to
+/// slots once up front, and each hop is a reservoir pass over a contiguous
+/// `&[u32]` — no hashing and no heap allocation per hop.
 pub fn random_walk_search<R: Rng + ?Sized>(
     net: &mut Network,
     start: NodeId,
@@ -42,36 +46,48 @@ pub fn random_walk_search<R: Rng + ?Sized>(
     accept: impl Fn(NodeId) -> bool,
     rng: &mut R,
 ) -> WalkOutcome {
-    let mut cur = start;
     let mut hops = 0u64;
-    while hops < max_len {
-        let nbrs = net.graph().neighbors(cur);
-        // Reservoir-pick a uniformly random neighbor entry, skipping the
-        // excluded node.
-        let mut choice: Option<NodeId> = None;
-        let mut seen = 0usize;
-        for &v in nbrs {
-            if Some(v) == exclude {
-                continue;
+    let hit = {
+        let g = net.graph();
+        let mut cur = g
+            .slot_of(start)
+            .unwrap_or_else(|| panic!("walk start {start} missing"));
+        // The excluded node may have been deleted already (the paper's
+        // type-1 deletion walk excludes the *vanished* node); a missing id
+        // simply never matches.
+        let exclude_slot = exclude.and_then(|u| g.slot_of(u));
+        let mut hit = None;
+        while hops < max_len {
+            let nbrs = g.neighbor_slots(cur);
+            // Reservoir-pick a uniformly random neighbor entry, skipping
+            // the excluded node.
+            let mut choice: Option<u32> = None;
+            let mut seen = 0usize;
+            for &v in nbrs {
+                if Some(v) == exclude_slot {
+                    continue;
+                }
+                seen += 1;
+                if rng.random_range(0..seen) == 0 {
+                    choice = Some(v);
+                }
             }
-            seen += 1;
-            if rng.random_range(0..seen) == 0 {
-                choice = Some(v);
+            let Some(next) = choice else {
+                // Only the excluded node is adjacent — the walk is stuck.
+                break;
+            };
+            hops += 1;
+            cur = next;
+            if accept(g.id_of_slot(cur)) {
+                hit = Some(g.id_of_slot(cur));
+                break;
             }
         }
-        let Some(next) = choice else {
-            // Only the excluded node is adjacent — the walk is stuck.
-            return WalkOutcome { hit: None, hops };
-        };
-        hops += 1;
-        net.charge_rounds(1);
-        net.charge_messages(1);
-        cur = next;
-        if accept(cur) {
-            return WalkOutcome { hit: Some(cur), hops };
-        }
-    }
-    WalkOutcome { hit: None, hops }
+        hit
+    };
+    net.charge_rounds(hops);
+    net.charge_messages(hops);
+    WalkOutcome { hit, hops }
 }
 
 /// Send one message along an explicit node path (consecutive entries must
@@ -198,8 +214,7 @@ mod tests {
         net.begin_step();
         let mut rng = StdRng::seed_from_u64(2);
         // Target unreachable within 3 hops from node 0 on a line.
-        let out =
-            random_walk_search(&mut net, NodeId(0), 3, None, |u| u == NodeId(9), &mut rng);
+        let out = random_walk_search(&mut net, NodeId(0), 3, None, |u| u == NodeId(9), &mut rng);
         assert_eq!(out.hit, None);
         assert_eq!(out.hops, 3);
         net.end_step(crate::StepKind::Insert, crate::RecoveryKind::Type1);
@@ -235,14 +250,7 @@ mod tests {
         line(&mut net, 2);
         net.begin_step();
         let mut rng = StdRng::seed_from_u64(4);
-        let out = random_walk_search(
-            &mut net,
-            NodeId(0),
-            10,
-            Some(NodeId(1)),
-            |_| true,
-            &mut rng,
-        );
+        let out = random_walk_search(&mut net, NodeId(0), 10, Some(NodeId(1)), |_| true, &mut rng);
         assert_eq!(out.hit, None);
         assert_eq!(out.hops, 0);
         net.end_step(crate::StepKind::Insert, crate::RecoveryKind::Type1);

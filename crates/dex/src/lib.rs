@@ -47,18 +47,18 @@ pub use dex_sim as sim;
 /// Everything most programs need.
 pub mod prelude {
     pub use dex_adversary::{
-        Action, Adversary, CoordinatorHunter, CutAttacker, DeleteOnly, HighLoadHunter,
-        IdAllocator, InsertOnly, OscillatingSize, RandomChurn, ReplayTrace,
-        SpectralCutAttacker, View,
+        Action, Adversary, CoordinatorHunter, CutAttacker, DeleteOnly, HighLoadHunter, IdAllocator,
+        InsertOnly, OscillatingSize, RandomChurn, ReplayTrace, SpectralCutAttacker, View,
     };
     pub use dex_baselines::{
-        flooding::Flooding, law_siu::LawSiu, naive_patch::NaivePatch, skip_lite::SkipLite,
-        Overlay,
+        flooding::Flooding, law_siu::LawSiu, naive_patch::NaivePatch, skip_lite::SkipLite, Overlay,
     };
     pub use dex_core::{invariants, DexConfig, DexNetwork, RecoveryMode};
     pub use dex_graph::ids::{NodeId, VertexId};
     pub use dex_graph::pcycle::PCycle;
     pub use dex_graph::spectral;
+    pub use dex_graph::spectral::Lambda2Solver;
     pub use dex_graph::MultiGraph;
+    pub use dex_sim::parallel::{par_walk_endpoints, WalkJob};
     pub use dex_sim::{RecoveryKind, StepKind, StepMetrics, Summary};
 }

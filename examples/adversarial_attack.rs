@@ -35,8 +35,16 @@ fn main() {
     attack("insert-only", Box::new(InsertOnly::new(2)), 400);
     attack("delete-heavy", Box::new(RandomChurn::new(3, 0.25)), 400);
     attack("high-load-hunter", Box::new(HighLoadHunter::new(4)), 400);
-    attack("coordinator-hunter", Box::new(CoordinatorHunter::new(5)), 400);
+    attack(
+        "coordinator-hunter",
+        Box::new(CoordinatorHunter::new(5)),
+        400,
+    );
     attack("cut-attacker", Box::new(CutAttacker::new(6)), 400);
-    attack("oscillating-size", Box::new(OscillatingSize::new(7, 16, 200)), 600);
+    attack(
+        "oscillating-size",
+        Box::new(OscillatingSize::new(7, 16, 200)),
+        600,
+    );
     println!("\nno adversary broke the degree bound or collapsed the spectral gap ✓");
 }

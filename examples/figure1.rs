@@ -55,7 +55,11 @@ fn main() {
         );
     }
     for (a, b) in net.graph().edges() {
-        println!("  {} -- {};", names[a.raw() as usize], names[b.raw() as usize]);
+        println!(
+            "  {} -- {};",
+            names[a.raw() as usize],
+            names[b.raw() as usize]
+        );
     }
     println!("}}");
 

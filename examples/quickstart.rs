@@ -35,7 +35,10 @@ fn main() {
     println!("  messages / step:  {messages}");
     println!("  topology Δ / step: {topo}");
     println!("  max degree:       {}", net.max_degree());
-    println!("  max load:         {} (bound 4ζ = 32)", net.max_total_load());
+    println!(
+        "  max load:         {} (bound 4ζ = 32)",
+        net.max_total_load()
+    );
     println!("  spectral gap:     {:.4}", net.spectral_gap());
 
     invariants::assert_ok(&net);

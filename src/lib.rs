@@ -1,0 +1,7 @@
+//! Root package of the DEX reproduction workspace.
+//!
+//! This crate exists to host the repo-level integration tests (`tests/`)
+//! and the runnable examples (`examples/`); it simply re-exports the
+//! [`dex`] facade.
+
+pub use dex;

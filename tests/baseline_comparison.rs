@@ -28,7 +28,11 @@ fn dex_and_law_siu_have_constant_degree_but_skip_lite_logarithmic() {
     churn_overlay(&mut dexn, 300, 9);
     churn_overlay(&mut law, 300, 9);
     churn_overlay(&mut skip, 300, 9);
-    assert!(dexn.max_degree() <= 3 * 32, "dex degree {}", Overlay::max_degree(&dexn));
+    assert!(
+        dexn.max_degree() <= 3 * 32,
+        "dex degree {}",
+        Overlay::max_degree(&dexn)
+    );
     assert!(Overlay::max_degree(&law) == 6, "law-siu degree");
     // Skip graphs: degree grows with log n — strictly above the 2k of
     // Law–Siu at this size.
@@ -83,7 +87,7 @@ fn naive_patch_degree_blows_up_dex_does_not() {
                 .copied()
                 .max_by_key(|&u| o.graph().degree(u))
                 .unwrap();
-            if ids.len() > 10 && rng.random_bool(0.5) {
+            if ids.len() > 10 && rng.random_bool(0.3) {
                 let nbrs = o.graph().neighbors(hub).to_vec();
                 let victim = nbrs.iter().copied().find(|&w| w != hub).unwrap_or(hub);
                 if victim != hub {
@@ -99,8 +103,12 @@ fn naive_patch_degree_blows_up_dex_does_not() {
     }
     let mut dexn = DexNetwork::bootstrap(DexConfig::new(10).simplified(), 32);
     let mut naive = NaivePatch::bootstrap(11, 32);
-    let dex_worst = attack(&mut dexn, 200, 13);
-    let naive_worst = attack(&mut naive, 200, 13);
+    // Insert-biased attack (70% inserts aimed at the hub) over 500 steps:
+    // naive patching's hub degree grows linearly with the insert count
+    // while DEX redistributes, so the comparison has a ~10x margin and is
+    // robust to the exact RNG stream.
+    let dex_worst = attack(&mut dexn, 500, 13);
+    let naive_worst = attack(&mut naive, 500, 13);
     assert!(dex_worst <= 96, "dex degree bound violated: {dex_worst}");
     assert!(
         naive_worst > dex_worst,
