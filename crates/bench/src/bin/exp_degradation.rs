@@ -40,6 +40,9 @@ fn adaptive_attack(o: &mut dyn Overlay, steps: usize, seed: u64) -> (f64, f64) {
                     o.delete(victim);
                 }
             }
+            // The single-event adversaries used here never emit batch or
+            // DHT actions.
+            _ => unreachable!("SpectralCutAttacker emits single events only"),
         }
         min_gap = min_gap.min(o.spectral_gap());
     }

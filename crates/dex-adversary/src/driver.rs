@@ -4,6 +4,22 @@ use crate::{Action, Adversary, View};
 use dex_core::DexNetwork;
 use dex_sim::StepMetrics;
 
+/// Apply one action to the network through the matching entry point and
+/// return the step's metered cost. This is the single dispatch every
+/// driver (adversary loop, trace replay, scenario engine) goes through, so
+/// a recorded trace replays through exactly the code paths that produced
+/// it.
+pub fn apply(dex: &mut DexNetwork, action: &Action) -> StepMetrics {
+    match action {
+        Action::Insert { id, attach } => dex.insert(*id, *attach),
+        Action::Delete { victim } => dex.delete(*victim),
+        Action::BatchInsert { joins } => dex.insert_batch(joins),
+        Action::BatchDelete { victims } => dex.delete_batch(victims),
+        Action::DhtPut { from, key, value } => dex.dht_insert(*from, *key, *value),
+        Action::DhtGet { from, key } => dex.dht_lookup(*from, *key).1,
+    }
+}
+
 /// Let the adversary observe the full network state and strike once;
 /// returns the action taken and the step's metered recovery cost.
 pub fn step(dex: &mut DexNetwork, adv: &mut dyn Adversary) -> (Action, StepMetrics) {
@@ -18,10 +34,7 @@ pub fn step(dex: &mut DexNetwork, adv: &mut dyn Adversary) -> (Action, StepMetri
         };
         adv.next(&view)
     };
-    let metrics = match action {
-        Action::Insert { id, attach } => dex.insert(id, attach),
-        Action::Delete { victim } => dex.delete(victim),
-    };
+    let metrics = apply(dex, &action);
     (action, metrics)
 }
 

@@ -30,8 +30,12 @@ use dex_graph::ids::{NodeId, VertexId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// One adversarial action.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// One adversarial or workload action.
+///
+/// Beyond the paper's single-event churn (`Insert` / `Delete`), the
+/// grammar covers the Sect. 5 batch extension and DHT traffic, so a
+/// recorded trace can replay an entire mixed workload bit-identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Action {
     /// Insert `id`, attached to `attach`.
     Insert {
@@ -44,6 +48,34 @@ pub enum Action {
     Delete {
         /// The node removed from the network.
         victim: NodeId,
+    },
+    /// Insert a whole batch of `(new_node, attach_to)` pairs in one
+    /// adversarial step (Sect. 5; drives `DexNetwork::insert_batch`).
+    BatchInsert {
+        /// The `(newcomer, attach point)` pairs.
+        joins: Vec<(NodeId, NodeId)>,
+    },
+    /// Delete a batch of victims in one adversarial step
+    /// (drives `DexNetwork::delete_batch`).
+    BatchDelete {
+        /// The victims, in processing order.
+        victims: Vec<NodeId>,
+    },
+    /// Store a key–value pair via the DHT, initiated by `from`.
+    DhtPut {
+        /// Initiating node.
+        from: NodeId,
+        /// Key.
+        key: u64,
+        /// Value.
+        value: u64,
+    },
+    /// Look up a key via the DHT, initiated by `from`.
+    DhtGet {
+        /// Initiating node.
+        from: NodeId,
+        /// Key.
+        key: u64,
     },
 }
 
@@ -578,7 +610,7 @@ mod tests {
         for _ in 0..10 {
             match adv.next(&view_of(&g)) {
                 Action::Insert { .. } => {}
-                Action::Delete { .. } => panic!("deleted below floor"),
+                a => panic!("expected insert above floor, got {a:?}"),
             }
         }
     }

@@ -1,37 +1,67 @@
-//! Plain-text churn traces: record and replay adversarial action
-//! sequences.
+//! Plain-text churn/workload traces: record and replay action sequences.
 //!
 //! Format, one action per line:
 //! ```text
-//! I <id> <attach>
-//! D <victim>
+//! I <id> <attach>                  # single insert
+//! D <victim>                       # single delete
+//! BI <id> <attach> [<id> <attach> ...]   # batch insert (pairs)
+//! BD <victim> [<victim> ...]       # batch delete
+//! P <from> <key> <value>           # DHT put
+//! G <from> <key>                   # DHT get
 //! ```
+//! Blank lines and `#` comments are skipped. Parse errors carry 1-based
+//! line numbers, and any trailing tokens on a line are rejected (a silent
+//! truncation would desynchronize a replay from the recorded run).
 //! Hand-rolled (no serialization-format crate in the approved dependency
-//! set); round-trips exactly.
+//! set); round-trips exactly — a proptest over the full action grammar
+//! enforces it.
 
 use crate::Action;
 use dex_graph::ids::NodeId;
 
 /// Serialize actions to the line format.
 pub fn to_string(actions: &[Action]) -> String {
+    use std::fmt::Write as _;
     let mut out = String::with_capacity(actions.len() * 12);
     for a in actions {
         match a {
             Action::Insert { id, attach } => {
-                out.push_str(&format!("I {} {}\n", id.0, attach.0));
+                let _ = writeln!(out, "I {} {}", id.0, attach.0);
             }
             Action::Delete { victim } => {
-                out.push_str(&format!("D {}\n", victim.0));
+                let _ = writeln!(out, "D {}", victim.0);
+            }
+            Action::BatchInsert { joins } => {
+                out.push_str("BI");
+                for (id, attach) in joins {
+                    let _ = write!(out, " {} {}", id.0, attach.0);
+                }
+                out.push('\n');
+            }
+            Action::BatchDelete { victims } => {
+                out.push_str("BD");
+                for v in victims {
+                    let _ = write!(out, " {}", v.0);
+                }
+                out.push('\n');
+            }
+            Action::DhtPut { from, key, value } => {
+                let _ = writeln!(out, "P {} {key} {value}", from.0);
+            }
+            Action::DhtGet { from, key } => {
+                let _ = writeln!(out, "G {} {key}", from.0);
             }
         }
     }
     out
 }
 
-/// Parse the line format. Returns a descriptive error on malformed input.
+/// Parse the line format. Returns a descriptive error (with a 1-based line
+/// number) on malformed input.
 pub fn parse(s: &str) -> Result<Vec<Action>, String> {
     let mut out = Vec::new();
-    for (lineno, line) in s.lines().enumerate() {
+    for (idx, line) in s.lines().enumerate() {
+        let lineno = idx + 1;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -60,6 +90,49 @@ pub fn parse(s: &str) -> Result<Vec<Action>, String> {
                     victim: NodeId(victim),
                 });
             }
+            "BI" => {
+                let mut joins = Vec::new();
+                while let Some(p) = parts.next() {
+                    let id = parse_u64(Some(p))?;
+                    let attach = parts
+                        .next()
+                        .ok_or_else(|| format!("line {lineno}: BI needs id/attach pairs"))?;
+                    let attach = parse_u64(Some(attach))?;
+                    joins.push((NodeId(id), NodeId(attach)));
+                }
+                if joins.is_empty() {
+                    return Err(format!("line {lineno}: empty batch insert"));
+                }
+                out.push(Action::BatchInsert { joins });
+            }
+            "BD" => {
+                let mut victims = Vec::new();
+                for p in parts.by_ref() {
+                    victims.push(NodeId(parse_u64(Some(p))?));
+                }
+                if victims.is_empty() {
+                    return Err(format!("line {lineno}: empty batch delete"));
+                }
+                out.push(Action::BatchDelete { victims });
+            }
+            "P" => {
+                let from = parse_u64(parts.next())?;
+                let key = parse_u64(parts.next())?;
+                let value = parse_u64(parts.next())?;
+                out.push(Action::DhtPut {
+                    from: NodeId(from),
+                    key,
+                    value,
+                });
+            }
+            "G" => {
+                let from = parse_u64(parts.next())?;
+                let key = parse_u64(parts.next())?;
+                out.push(Action::DhtGet {
+                    from: NodeId(from),
+                    key,
+                });
+            }
             other => return Err(format!("line {lineno}: unknown tag {other:?}")),
         }
         if parts.next().is_some() {
@@ -81,9 +154,20 @@ mod tests {
                 attach: NodeId(3),
             },
             Action::Delete { victim: NodeId(7) },
-            Action::Insert {
-                id: NodeId(101),
-                attach: NodeId(100),
+            Action::BatchInsert {
+                joins: vec![(NodeId(101), NodeId(100)), (NodeId(102), NodeId(3))],
+            },
+            Action::BatchDelete {
+                victims: vec![NodeId(101), NodeId(102)],
+            },
+            Action::DhtPut {
+                from: NodeId(3),
+                key: 42,
+                value: 7,
+            },
+            Action::DhtGet {
+                from: NodeId(100),
+                key: 42,
             },
         ];
         let s = to_string(&actions);
@@ -102,5 +186,21 @@ mod tests {
         assert!(parse("I 1").is_err());
         assert!(parse("D foo").is_err());
         assert!(parse("I 1 2 3").is_err());
+        assert!(parse("D 1 2").is_err());
+        assert!(parse("BI").is_err());
+        assert!(parse("BI 1 2 3").is_err()); // unpaired
+        assert!(parse("BD").is_err());
+        assert!(parse("P 1 2").is_err());
+        assert!(parse("G 1 2 3").is_err());
+    }
+
+    #[test]
+    fn line_numbers_are_one_based() {
+        // Error on the very first line must say "line 1", not "line 0".
+        let err = parse("X 9").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        // Comments and blanks still count as physical lines.
+        let err = parse("# header\nI 1 2\nD oops\n").unwrap_err();
+        assert!(err.starts_with("line 3:"), "{err}");
     }
 }

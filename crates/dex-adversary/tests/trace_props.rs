@@ -1,0 +1,96 @@
+//! Property tests for the trace format over the *extended* action
+//! grammar (single events, Sect. 5 batches, DHT operations): serializing
+//! any action sequence and parsing it back must reproduce it exactly,
+//! and corrupted text must never silently parse.
+
+use dex_adversary::{trace, Action};
+use dex_graph::ids::NodeId;
+use proptest::prelude::*;
+
+/// Strategy over one arbitrary action of the full grammar.
+fn arb_action() -> impl Strategy<Value = Action> {
+    // (selector, a, b, c, pairs) — the selector picks the variant, the
+    // rest are recycled as its fields so one tuple strategy covers all.
+    (
+        0u8..6,
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec((any::<u64>(), any::<u64>()), 1..9),
+    )
+        .prop_map(|(sel, a, b, c, pairs)| match sel {
+            0 => Action::Insert {
+                id: NodeId(a),
+                attach: NodeId(b),
+            },
+            1 => Action::Delete { victim: NodeId(a) },
+            2 => Action::BatchInsert {
+                joins: pairs.iter().map(|&(x, y)| (NodeId(x), NodeId(y))).collect(),
+            },
+            3 => Action::BatchDelete {
+                victims: pairs.iter().map(|&(x, _)| NodeId(x)).collect(),
+            },
+            4 => Action::DhtPut {
+                from: NodeId(a),
+                key: b,
+                value: c,
+            },
+            _ => Action::DhtGet {
+                from: NodeId(a),
+                key: b,
+            },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn roundtrip_over_full_grammar(actions in proptest::collection::vec(arb_action(), 0..40)) {
+        let text = trace::to_string(&actions);
+        let parsed = trace::parse(&text).expect("serializer output must parse");
+        prop_assert_eq!(parsed, actions);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected(actions in proptest::collection::vec(arb_action(), 1..10)) {
+        let text = trace::to_string(&actions);
+        // Append a trailing token to each single-arity line in turn; every
+        // corruption must fail, with the right 1-based line number.
+        for (i, line) in text.lines().enumerate() {
+            // Batch records absorb arbitrarily many numeric fields by
+            // design; corrupt only the fixed-arity tags.
+            if line.starts_with("BI") || line.starts_with("BD") {
+                continue;
+            }
+            let corrupted: String = text
+                .lines()
+                .enumerate()
+                .map(|(j, l)| {
+                    if i == j {
+                        format!("{l} 999\n")
+                    } else {
+                        format!("{l}\n")
+                    }
+                })
+                .collect();
+            let err = trace::parse(&corrupted).expect_err("trailing token must error");
+            prop_assert!(
+                err.starts_with(&format!("line {}:", i + 1)),
+                "wrong line in {err:?} (expected line {})",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn unpaired_batch_insert_is_rejected(odd in proptest::collection::vec(any::<u64>(), 1..8)) {
+        if odd.len() % 2 == 1 {
+            let line = format!(
+                "BI {}",
+                odd.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" ")
+            );
+            prop_assert!(trace::parse(&line).is_err());
+        }
+    }
+}

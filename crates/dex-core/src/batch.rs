@@ -14,8 +14,13 @@
 
 use crate::config::RecoveryMode;
 use crate::dex::DexNetwork;
+use dex_graph::fxhash::{FxHashMap, FxHashSet};
 use dex_graph::ids::NodeId;
 use dex_sim::{RecoveryKind, StepKind, StepMetrics};
+
+/// Maximum newcomers per attach point in one batch (the paper's O(1)
+/// anti-congestion bound, Sect. 5).
+pub const MAX_ATTACH_FAN_IN: usize = 8;
 
 impl DexNetwork {
     /// Insert a batch of `(new_node, attach_to)` pairs in one adversarial
@@ -32,16 +37,37 @@ impl DexNetwork {
             "batch mode requires simplified type-2 (Sect. 5)"
         );
         assert!(!joins.is_empty());
-        // O(1) attach fan-in (the paper's anti-congestion requirement).
-        for (_, v) in joins {
-            let fan = joins.iter().filter(|(_, w)| w == v).count();
-            assert!(fan <= 8, "attach fan-in {fan} at {v} violates O(1) bound");
+        // Validate the whole batch before touching any state: fan-in per
+        // attach point (the paper's O(1) anti-congestion requirement,
+        // counted in one pass), newcomer uniqueness, no collision with a
+        // live node, and attach-point existence — an attach point may be a
+        // live node or an *earlier newcomer of the same batch* (healing
+        // runs pair-by-pair, so chained joins are well-defined). A
+        // mid-batch panic after partial mutation would leave the fabric
+        // unhealable.
+        let mut fan_in: FxHashMap<NodeId, usize> = FxHashMap::default();
+        let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+        for &(u, v) in joins {
+            let fan = fan_in.entry(v).or_insert(0);
+            *fan += 1;
+            assert!(
+                *fan <= MAX_ATTACH_FAN_IN,
+                "attach fan-in {fan} at {v} violates O(1) bound"
+            );
+            assert!(
+                self.net.graph().has_node(v) || seen.contains(&v),
+                "attach point {v} missing"
+            );
+            assert!(seen.insert(u), "duplicate newcomer {u} in batch");
+            assert!(
+                !self.net.graph().has_node(u),
+                "newcomer {u} collides with an existing node"
+            );
         }
         self.step_no += 1;
         self.net.begin_step();
         let mut used_type2 = false;
         for &(u, v) in joins {
-            assert!(self.net.graph().has_node(v), "attach point {v} missing");
             self.net.adversary_add_node(u);
             self.net.adversary_add_edge(u, v);
             used_type2 |= self.heal_one_insert(u, v);
@@ -66,11 +92,16 @@ impl DexNetwork {
             victims.len() < self.n() - 1,
             "batch would empty the network"
         );
+        // Validate before mutating: victims must be live and distinct.
+        let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+        for &victim in victims {
+            assert!(self.net.graph().has_node(victim), "victim {victim} missing");
+            assert!(seen.insert(victim), "duplicate victim {victim} in batch");
+        }
         self.step_no += 1;
         self.net.begin_step();
         let mut used_type2 = false;
         for &victim in victims {
-            assert!(self.net.graph().has_node(victim), "victim {victim} missing");
             // Every victim must keep one surviving neighbor (paper's
             // condition); because healing runs victim-by-victim, the
             // previous victims' vertices have already been rehomed.

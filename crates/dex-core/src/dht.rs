@@ -45,6 +45,12 @@ impl DhtStore {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// The `p` the stored data is currently partitioned under (`None`
+    /// until the first DHT operation observes a cycle).
+    pub fn hashed_under(&self) -> Option<u64> {
+        self.hashed_under
+    }
 }
 
 /// `h_s(k)`: hash a key to a vertex of the current cycle.
@@ -57,6 +63,12 @@ impl DexNetwork {
     pub fn dht_owner(&self, key: Key) -> NodeId {
         let z = hash_to_vertex(key, self.cycle.p());
         self.map.owner_of(z)
+    }
+
+    /// Read-only view of the DHT storage state (entry count, current
+    /// partitioning).
+    pub fn dht_store(&self) -> &DhtStore {
+        &self.dht
     }
 
     /// Store `(key, value)`, initiated by node `from`. Returns the metered

@@ -133,3 +133,123 @@ fn batch_rejects_excess_fan_in() {
     let joins: Vec<(NodeId, NodeId)> = (0..9).map(|i| (NodeId(900 + i), v)).collect();
     dex.insert_batch(&joins);
 }
+
+#[test]
+fn batch_fan_in_boundary_accepts_exactly_the_bound() {
+    // MAX_ATTACH_FAN_IN newcomers on one attach point is legal; one more
+    // is not (covered by `batch_rejects_excess_fan_in`).
+    let mut dex = DexNetwork::bootstrap(DexConfig::new(8).simplified(), 32);
+    let v = dex.node_ids()[0];
+    let joins: Vec<(NodeId, NodeId)> = (0..dex_core::batch::MAX_ATTACH_FAN_IN as u64)
+        .map(|i| (NodeId(910 + i), v))
+        .collect();
+    dex.insert_batch(&joins);
+    assert_eq!(dex.n(), 32 + dex_core::batch::MAX_ATTACH_FAN_IN);
+    invariants::assert_ok(&dex);
+}
+
+#[test]
+fn batch_accepts_chained_intra_batch_attaches() {
+    // A later pair may attach to an earlier newcomer of the same batch
+    // (healing runs pair-by-pair, so the attach point exists by then).
+    let mut dex = DexNetwork::bootstrap(DexConfig::new(14).simplified(), 16);
+    let live = dex.node_ids()[0];
+    let joins = vec![
+        (NodeId(7_000_000), live),
+        (NodeId(7_000_001), NodeId(7_000_000)),
+        (NodeId(7_000_002), NodeId(7_000_001)),
+    ];
+    dex.insert_batch(&joins);
+    assert_eq!(dex.n(), 19);
+    invariants::assert_ok(&dex);
+}
+
+#[test]
+fn batch_rejects_id_collision_before_mutating() {
+    let mut dex = DexNetwork::bootstrap(DexConfig::new(9).simplified(), 16);
+    let ids = dex.node_ids();
+    // First pair is fine; the second newcomer collides with a live node.
+    let joins = vec![(NodeId(5_000_000), ids[0]), (ids[1], ids[2])];
+    let n_before = dex.n();
+    let mut edges_before = dex.graph().edges();
+    edges_before.sort();
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| dex.insert_batch(&joins)));
+    let err = *result
+        .expect_err("collision must panic")
+        .downcast::<String>()
+        .unwrap();
+    assert!(err.contains("collides"), "{err}");
+    // Validation runs before any mutation: nothing changed.
+    assert_eq!(dex.n(), n_before);
+    let mut edges_after = dex.graph().edges();
+    edges_after.sort();
+    assert_eq!(edges_after, edges_before);
+    invariants::assert_ok(&dex);
+}
+
+#[test]
+#[should_panic(expected = "duplicate newcomer")]
+fn batch_rejects_duplicate_newcomers() {
+    let mut dex = DexNetwork::bootstrap(DexConfig::new(10).simplified(), 16);
+    let ids = dex.node_ids();
+    let joins = vec![(NodeId(6_000_000), ids[0]), (NodeId(6_000_000), ids[1])];
+    dex.insert_batch(&joins);
+}
+
+#[test]
+#[should_panic(expected = "duplicate victim")]
+fn batch_rejects_duplicate_victims() {
+    let mut dex = DexNetwork::bootstrap(DexConfig::new(11).simplified(), 16);
+    let ids = dex.node_ids();
+    dex.delete_batch(&[ids[0], ids[0]]);
+}
+
+#[test]
+fn dht_remigrates_when_hashed_under_changes_across_staggered_switchover() {
+    // Data stored under Z(p₀) must follow the hash function to the new
+    // cycle when a *staggered* type-2 operation switches over, with the
+    // lump migration charged exactly once.
+    let mut dex = DexNetwork::bootstrap(DexConfig::new(12).staggered(), 8);
+    let ids = dex.node_ids();
+    for k in 0..40u64 {
+        dex.dht_insert(ids[(k % 8) as usize], k, 9000 + k);
+    }
+    let p0 = dex.cycle.p();
+    assert_eq!(dex.dht_store().hashed_under(), Some(p0));
+
+    // Grow until an inflation fires, staggers through its windows, and
+    // switches over (p changes only at switchover).
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut next = 5_000_000u64;
+    while dex.cycle.p() == p0 {
+        let live = dex.node_ids();
+        let v = live[rng.random_range(0..live.len())];
+        dex.insert(NodeId(next), v);
+        next += 1;
+        assert!(next < 5_010_000, "staggered inflation never completed");
+    }
+    assert!(dex.cycle.p() > p0);
+    // The store is still partitioned under p₀ until the next DHT op
+    // observes the new cycle...
+    assert_eq!(dex.dht_store().hashed_under(), Some(p0));
+
+    let from = dex.node_ids()[0];
+    let (v, m_migrating) = dex.dht_lookup(from, 0);
+    assert_eq!(v, Some(9000));
+    // ...which re-partitions everything and charges one message per item.
+    assert_eq!(dex.dht_store().hashed_under(), Some(dex.cycle.p()));
+    let (_, m_settled) = dex.dht_lookup(from, 0);
+    assert_eq!(
+        m_migrating.messages,
+        m_settled.messages + dex.dht_store().len() as u64,
+        "migration must be charged exactly once, one message per item"
+    );
+
+    // No key was lost across the rehash.
+    for k in 0..40u64 {
+        let (v, _) = dex.dht_lookup(from, k);
+        assert_eq!(v, Some(9000 + k), "key {k} lost across switchover");
+    }
+    invariants::assert_ok(&dex);
+}

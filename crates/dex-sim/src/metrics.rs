@@ -112,6 +112,49 @@ impl Summary {
     }
 }
 
+/// Percentile aggregate over a whole [`StepMetrics`] stream — the shape
+/// every scenario/workload report reduces to. Aggregates from several
+/// independent trials concatenate before summarizing (the percentiles are
+/// over the pooled per-step samples).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepAggregate {
+    /// Number of steps pooled.
+    pub steps: usize,
+    /// Rounds per step.
+    pub rounds: Summary,
+    /// Messages per step.
+    pub messages: Summary,
+    /// Topology changes per step.
+    pub topology: Summary,
+    /// Steps whose recovery was a type-2 flavour.
+    pub type2_steps: usize,
+}
+
+impl StepAggregate {
+    /// Aggregate a stream of per-step metrics.
+    pub fn of<'a>(steps: impl IntoIterator<Item = &'a StepMetrics>) -> StepAggregate {
+        let mut rounds = Vec::new();
+        let mut messages = Vec::new();
+        let mut topology = Vec::new();
+        let mut type2_steps = 0usize;
+        for m in steps {
+            rounds.push(m.rounds);
+            messages.push(m.messages);
+            topology.push(m.topology_changes);
+            if m.recovery.is_type2() {
+                type2_steps += 1;
+            }
+        }
+        StepAggregate {
+            steps: rounds.len(),
+            rounds: Summary::of(rounds),
+            messages: Summary::of(messages),
+            topology: Summary::of(topology),
+            type2_steps,
+        }
+    }
+}
+
 impl std::fmt::Display for Summary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -150,6 +193,34 @@ mod tests {
         assert_eq!(s.p50, 7);
         assert_eq!(s.p95, 7);
         assert_eq!(s.max, 7);
+    }
+
+    #[test]
+    fn step_aggregate_pools_counters() {
+        let mk = |step: u64, rounds: u64, recovery: RecoveryKind| StepMetrics {
+            step,
+            kind: StepKind::Insert,
+            recovery,
+            rounds,
+            messages: rounds * 10,
+            topology_changes: 2,
+            n_after: 16,
+        };
+        let steps = vec![
+            mk(1, 4, RecoveryKind::Type1),
+            mk(2, 8, RecoveryKind::InflateSimple),
+            mk(3, 6, RecoveryKind::Type1),
+        ];
+        let agg = StepAggregate::of(&steps);
+        assert_eq!(agg.steps, 3);
+        assert_eq!(agg.type2_steps, 1);
+        assert_eq!(agg.rounds.max, 8);
+        assert_eq!(agg.rounds.p50, 6);
+        assert_eq!(agg.messages.max, 80);
+        assert_eq!(agg.topology.p50, 2);
+        let empty = StepAggregate::of(std::iter::empty());
+        assert_eq!(empty.steps, 0);
+        assert_eq!(empty.type2_steps, 0);
     }
 
     #[test]

@@ -19,7 +19,10 @@
 //! * [`baselines`] — Law–Siu, skip-graph-lite, flooding, and naive
 //!   patching comparators behind one [`baselines::Overlay`] trait;
 //! * [`services`] — what the expander is *for*: uniform peer sampling,
-//!   O(log n) broadcast, push–pull gossip, crash-tolerant multipath.
+//!   O(log n) broadcast, push–pull gossip, crash-tolerant multipath;
+//! * [`workload`] — the scenario engine: composable adversarial/traffic
+//!   workloads (flash crowds, correlated failures, partition-then-heal,
+//!   DHT mixes) with deterministic parallel trial fan-out.
 //!
 //! # Quick start
 //!
@@ -43,6 +46,7 @@ pub use dex_core as core;
 pub use dex_graph as graph;
 pub use dex_services as services;
 pub use dex_sim as sim;
+pub use dex_workload as workload;
 
 /// Everything most programs need.
 pub mod prelude {
@@ -60,5 +64,8 @@ pub mod prelude {
     pub use dex_graph::spectral::Lambda2Solver;
     pub use dex_graph::MultiGraph;
     pub use dex_sim::parallel::{par_walk_endpoints, WalkJob};
-    pub use dex_sim::{RecoveryKind, StepKind, StepMetrics, Summary};
+    pub use dex_sim::{RecoveryKind, StepAggregate, StepKind, StepMetrics, Summary};
+    pub use dex_workload::{
+        pool_aggregate, run_trials, Phase, RunOptions, Scenario, Targeting, TrialReport,
+    };
 }
