@@ -1,0 +1,112 @@
+//! Φ mapping-op microbenchmarks at n ≈ 100k: assign / transfer / remove
+//! on the slot-arena `VirtualMapping` vs the legacy HashMap oracle.
+//!
+//! Complements `bench_heal`'s end-to-end numbers with per-op costs: the
+//! transfer benchmark is the exact op every type-1 heal performs, and the
+//! assign+remove pair is the type-2 rebuild shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dex::core::mapping::oracle::HashMapping;
+use dex::core::VirtualMapping;
+use dex::graph::primes;
+use dex::prelude::*;
+use std::hint::black_box;
+
+const N: u64 = 100_000;
+
+fn filled_slot(p: u64) -> VirtualMapping {
+    let mut m = VirtualMapping::with_vertex_capacity(8, p);
+    for z in 0..p {
+        m.assign(VertexId(z), NodeId(z % N));
+    }
+    m
+}
+
+fn filled_hash(p: u64) -> HashMapping {
+    let mut m = HashMapping::new(8);
+    for z in 0..p {
+        m.assign(VertexId(z), NodeId(z % N));
+    }
+    m
+}
+
+fn bench_mapping_ops(c: &mut Criterion) {
+    let p = primes::initial_prime(N);
+    let mut group = c.benchmark_group("mapping_ops_n100k");
+    group.sample_size(20);
+
+    // --- transfer (the type-1 heal op): move a vertex between nodes ---
+    let mut slot = filled_slot(p);
+    let mut i = 0u64;
+    group.bench_function("transfer_slot", |b| {
+        b.iter(|| {
+            let z = VertexId(i % p);
+            let to = NodeId((i * 7 + 1) % N);
+            i += 1;
+            black_box(slot.transfer(z, to))
+        });
+    });
+    let mut hash = filled_hash(p);
+    let mut i = 0u64;
+    group.bench_function("transfer_hash", |b| {
+        b.iter(|| {
+            let z = VertexId(i % p);
+            let to = NodeId((i * 7 + 1) % N);
+            i += 1;
+            black_box(hash.transfer(z, to))
+        });
+    });
+
+    // --- owner resolution (the fabric op, ~6 per vertex move) ---
+    let mix = |i: u64| {
+        // splitmix-style avalanche: uniform accesses, like real chords.
+        let mut x = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        (x ^ (x >> 27)) % p
+    };
+    let slot = filled_slot(p);
+    let mut i = 0u64;
+    group.bench_function("owner_of_slot", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(slot.owner_of(VertexId(mix(i))))
+        });
+    });
+    let hash = filled_hash(p);
+    let mut i = 0u64;
+    group.bench_function("owner_of_hash", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(hash.owner_of(VertexId(mix(i))))
+        });
+    });
+
+    // --- assign + remove cycle (batch / type-2 rebuild shape) ---
+    let mut slot = filled_slot(p);
+    let mut i = 0u64;
+    group.bench_function("assign_remove_slot", |b| {
+        b.iter(|| {
+            let z = VertexId(i % p);
+            i += 1;
+            let u = slot.unassign(z);
+            slot.assign(z, u);
+            black_box(slot.load(u))
+        });
+    });
+    let mut hash = filled_hash(p);
+    let mut i = 0u64;
+    group.bench_function("assign_remove_hash", |b| {
+        b.iter(|| {
+            let z = VertexId(i % p);
+            i += 1;
+            let u = hash.unassign(z);
+            hash.assign(z, u);
+            black_box(hash.load(u))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping_ops);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Healing-throughput benchmark: the slot-arena Φ vs the legacy HashMap Φ
+//! on the heal access pattern, plus end-to-end insert/delete/batch churn
+//! on full DEX networks at n ∈ {20k, 200k, 1M}. Emits `BENCH_heal.json`.
+//!
+//! A counting global allocator measures **bytes allocated per healing
+//! operation** in the single-threaded measurement pass — steady-state
+//! type-1 healing is expected to allocate nothing (all hot-path buffers
+//! are pooled in `HealScratch` / `FloodScratch`).
+//!
+//! Determinism: everything in the JSON except the timing fields is
+//! bit-identical for a given `--seed` regardless of `--threads`; `--smoke`
+//! omits the timing fields so the whole file is byte-identical (the CI
+//! smoke job and the `heal_determinism` test rely on this).
+//!
+//! ```sh
+//! cargo run --release -p dex-bench --bin bench_heal            # full, up to n≈1M
+//! cargo run --release -p dex-bench --bin bench_heal -- --smoke # CI-sized
+//! cargo run --release -p dex-bench --bin bench_heal -- --threads 1
+//! ```
+
+use dex_bench::heal::{run_heal_bench, HealBenchOptions};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Allocator wrapper counting every allocated byte (frees are not
+/// subtracted: the metric is allocation *pressure*, and a hot path that
+/// allocates-and-frees still pays the allocator round trip).
+struct CountingAlloc;
+
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATED.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocated_bytes() -> u64 {
+    ALLOCATED.load(Ordering::Relaxed)
+}
+
+fn main() {
+    let mut opts = HealBenchOptions {
+        alloc_bytes: Some(allocated_bytes),
+        ..HealBenchOptions::default()
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--threads" => {
+                opts.threads = it.next().and_then(|v| v.parse().ok()).expect("--threads N");
+            }
+            "--seed" => {
+                opts.seed = it.next().and_then(|v| v.parse().ok()).expect("--seed S");
+            }
+            "--trials" => {
+                opts.trials = it.next().and_then(|v| v.parse().ok()).expect("--trials R");
+            }
+            other => panic!("unknown flag {other:?} (try --smoke / --threads / --seed / --trials)"),
+        }
+    }
+    let json = run_heal_bench(&opts);
+    std::fs::write("BENCH_heal.json", &json).expect("write BENCH_heal.json");
+    println!("wrote BENCH_heal.json");
+}

@@ -132,6 +132,10 @@ fn main() {
         lambda_every: if args.smoke { 16 } else { 64 },
         threads: args.threads,
         check_invariants: args.smoke, // free correctness coverage at toy scale
+        // Aggregates come from the compact per-step logs; full traces and
+        // StepMetrics records are dead weight at benchmark scale.
+        keep_actions: false,
+        keep_step_metrics: false,
     };
     let lineup = lineup(!args.smoke);
 

@@ -29,7 +29,7 @@ fn theta_sweep() {
         let sched = Schedule::random(62, 1200, 0.9);
         sched.apply(&mut net);
         invariants::assert_ok(&net);
-        let h = &net.net.history;
+        let h = net.net.history();
         let type2 = h.iter().filter(|m| m.recovery.is_type2()).count();
         let msgs = Summary::of(h.iter().map(|m| m.messages));
         rows.push(vec![
@@ -66,7 +66,7 @@ fn window_sweep() {
         let sched = Schedule::random(64, 1500, 0.9);
         sched.apply(&mut net);
         invariants::assert_ok(&net);
-        let h = &net.net.history;
+        let h = net.net.history();
         let t2: Vec<_> = h.iter().filter(|m| m.recovery.is_type2()).collect();
         let t2_msgs = Summary::of(t2.iter().map(|m| m.messages));
         let t2_topo = Summary::of(t2.iter().map(|m| m.topology_changes));

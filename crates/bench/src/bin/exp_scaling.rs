@@ -19,11 +19,16 @@ fn main() {
     for n in [64usize, 128, 256, 512, 1024, 2048, 4096] {
         let mut net = DexNetwork::bootstrap(DexConfig::new(1).staggered(), 64);
         grow_to(&mut net, n, 2);
-        let start = net.net.history.len();
+        let start = net.net.history().len();
         let sched = Schedule::random(3, steps, 0.5);
         sched.apply(&mut net);
-        let h = &net.net.history[start..];
-        let type1: Vec<_> = h.iter().filter(|m| !m.recovery.is_type2()).collect();
+        let type1: Vec<_> = net
+            .net
+            .history()
+            .iter()
+            .skip(start)
+            .filter(|m| !m.recovery.is_type2())
+            .collect();
         let rounds = Summary::of(type1.iter().map(|m| m.rounds));
         let msgs = Summary::of(type1.iter().map(|m| m.messages));
         let topo = Summary::of(type1.iter().map(|m| m.topology_changes));

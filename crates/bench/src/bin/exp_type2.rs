@@ -17,7 +17,7 @@ fn run(cfg: DexConfig, label: &str, steps: usize) -> Vec<String> {
     let sched = Schedule::random(7, steps, 0.92);
     sched.apply(&mut net);
     invariants::assert_ok(&net);
-    let h = &net.net.history;
+    let h = net.net.history();
     let type2: Vec<_> = h.iter().filter(|m| m.recovery.is_type2()).collect();
     let all_msgs = Summary::of(h.iter().map(|m| m.messages));
     let t2_msgs = Summary::of(type2.iter().map(|m| m.messages));

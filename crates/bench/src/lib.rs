@@ -9,6 +9,8 @@ use dex::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+pub mod heal;
+
 /// A churn schedule that can be applied identically to different overlays:
 /// each entry is (insert?, index into the live node list) — indices rather
 /// than ids so the same schedule drives any overlay.

@@ -14,7 +14,6 @@
 
 use crate::config::RecoveryMode;
 use crate::dex::DexNetwork;
-use dex_graph::fxhash::{FxHashMap, FxHashSet};
 use dex_graph::ids::NodeId;
 use dex_sim::{RecoveryKind, StepKind, StepMetrics};
 
@@ -45,20 +44,21 @@ impl DexNetwork {
         // runs pair-by-pair, so chained joins are well-defined). A
         // mid-batch panic after partial mutation would leave the fabric
         // unhealable.
-        let mut fan_in: FxHashMap<NodeId, usize> = FxHashMap::default();
-        let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+        self.heal.fan_in.clear();
+        self.heal.seen.clear();
         for &(u, v) in joins {
-            let fan = fan_in.entry(v).or_insert(0);
+            let fan = self.heal.fan_in.entry(v).or_insert(0);
             *fan += 1;
+            let fan = *fan;
             assert!(
-                *fan <= MAX_ATTACH_FAN_IN,
+                fan <= MAX_ATTACH_FAN_IN,
                 "attach fan-in {fan} at {v} violates O(1) bound"
             );
             assert!(
-                self.net.graph().has_node(v) || seen.contains(&v),
+                self.net.graph().has_node(v) || self.heal.seen.contains(&v),
                 "attach point {v} missing"
             );
-            assert!(seen.insert(u), "duplicate newcomer {u} in batch");
+            assert!(self.heal.seen.insert(u), "duplicate newcomer {u} in batch");
             assert!(
                 !self.net.graph().has_node(u),
                 "newcomer {u} collides with an existing node"
@@ -93,10 +93,13 @@ impl DexNetwork {
             "batch would empty the network"
         );
         // Validate before mutating: victims must be live and distinct.
-        let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+        self.heal.seen.clear();
         for &victim in victims {
             assert!(self.net.graph().has_node(victim), "victim {victim} missing");
-            assert!(seen.insert(victim), "duplicate victim {victim} in batch");
+            assert!(
+                self.heal.seen.insert(victim),
+                "duplicate victim {victim} in batch"
+            );
         }
         self.step_no += 1;
         self.net.begin_step();
@@ -105,13 +108,15 @@ impl DexNetwork {
             // Every victim must keep one surviving neighbor (paper's
             // condition); because healing runs victim-by-victim, the
             // previous victims' vertices have already been rehomed.
-            let mut nbrs: Vec<NodeId> = self
-                .net
-                .graph()
-                .neighbors(victim)
-                .iter()
-                .filter(|&w| w != victim)
-                .collect();
+            self.heal.nbrs.clear();
+            let nbrs = &mut self.heal.nbrs;
+            nbrs.extend(
+                self.net
+                    .graph()
+                    .neighbors(victim)
+                    .iter()
+                    .filter(|&w| w != victim),
+            );
             nbrs.sort_unstable();
             nbrs.dedup();
             assert!(!nbrs.is_empty(), "victim {victim} lost all neighbors");
@@ -174,12 +179,33 @@ impl DexNetwork {
     }
 
     /// Type-1 delete healing inside an open step; returns whether type-2
-    /// was needed.
+    /// was needed. Detaches the pooled vertex buffer from `self` for the
+    /// duration (see [`crate::scratch::HealScratch`]).
     fn heal_one_delete(&mut self, victim: NodeId, rescuer: NodeId) -> bool {
+        let mut zs = std::mem::take(&mut self.heal.zs);
+        zs.clear();
+        zs.extend_from_slice(self.map.sim(victim));
+        let used_type2 = self.heal_one_delete_core(victim, rescuer, &zs);
+        self.heal.zs = zs;
+        used_type2
+    }
+
+    fn heal_one_delete_core(
+        &mut self,
+        victim: NodeId,
+        rescuer: NodeId,
+        zs: &[dex_graph::ids::VertexId],
+    ) -> bool {
         use dex_sim::rng::Purpose;
         use dex_sim::tokens::random_walk_search;
-        let zs: Vec<dex_graph::ids::VertexId> = self.map.sim(victim).to_vec();
-        crate::fabric::adopt_vertices(&mut self.net, &mut self.map, &self.cycle, &zs, rescuer);
+        crate::fabric::adopt_vertices(
+            &mut self.net,
+            &mut self.map,
+            &self.cycle,
+            zs,
+            rescuer,
+            &mut self.heal.insts,
+        );
         self.net.charge_messages(3 * zs.len() as u64);
         self.net.charge_rounds(1);
         let walk_len = self.cfg.walk_len(self.cycle.p());
@@ -210,6 +236,7 @@ impl DexNetwork {
                             &self.cycle,
                             &[z],
                             w,
+                            &mut self.heal.insts,
                         );
                         self.net.charge_messages(4);
                         self.net.charge_rounds(1);

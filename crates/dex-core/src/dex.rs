@@ -5,6 +5,7 @@
 use crate::config::{DexConfig, RecoveryMode};
 use crate::fabric;
 use crate::mapping::VirtualMapping;
+use crate::scratch::HealScratch;
 use crate::staggered::StaggeredOp;
 use dex_graph::ids::{NodeId, VertexId};
 use dex_graph::pcycle::PCycle;
@@ -53,6 +54,10 @@ pub struct DexNetwork {
     /// Reusable BFS scratch for the type-2 decision floods (one flood per
     /// type-2 step; reusing the buffers keeps the hot path allocation-free).
     pub(crate) flood_scratch: FloodScratch,
+    /// Pooled healing buffers (vertex sets, neighbor lists, fabric
+    /// instances, routing paths) — with these, steady-state type-1
+    /// recovery allocates nothing per operation.
+    pub(crate) heal: HealScratch,
 }
 
 impl DexNetwork {
@@ -66,7 +71,7 @@ impl DexNetwork {
         assert!(n0 >= 2, "need at least 2 initial nodes");
         let p0 = primes::initial_prime(n0);
         let cycle = PCycle::new(p0);
-        let mut map = VirtualMapping::new(cfg.zeta);
+        let mut map = VirtualMapping::with_vertex_capacity(cfg.zeta, p0);
         let mut net = Network::new();
         for i in 0..n0 {
             net.adversary_add_node(NodeId(i));
@@ -88,6 +93,7 @@ impl DexNetwork {
             dht: crate::dht::DhtStore::default(),
             step_no: 0,
             flood_scratch: FloodScratch::new(),
+            heal: HealScratch::new(),
         }
     }
 
@@ -250,7 +256,14 @@ impl DexNetwork {
             .iter()
             .max()
             .expect("spare node must simulate a vertex");
-        fabric::move_vertices(&mut self.net, &mut self.map, &self.cycle, &[z], u);
+        fabric::move_vertices(
+            &mut self.net,
+            &mut self.map,
+            &self.cycle,
+            &[z],
+            u,
+            &mut self.heal.insts,
+        );
         // O(1) handoff messages: vertex id + its 3 neighbor node ids.
         self.net.charge_messages(4);
         self.net.charge_rounds(1);
@@ -275,13 +288,15 @@ impl DexNetwork {
         self.step_no += 1;
 
         // Former neighbors learn of the attack in the same time step.
-        let mut nbrs: Vec<NodeId> = self
-            .net
-            .graph()
-            .neighbors(victim)
-            .iter()
-            .filter(|&w| w != victim)
-            .collect();
+        self.heal.nbrs.clear();
+        let nbrs = &mut self.heal.nbrs;
+        nbrs.extend(
+            self.net
+                .graph()
+                .neighbors(victim)
+                .iter()
+                .filter(|&w| w != victim),
+        );
         nbrs.sort_unstable();
         nbrs.dedup();
         assert!(
@@ -306,12 +321,37 @@ impl DexNetwork {
         self.net.end_step(StepKind::Delete, recovery)
     }
 
-    /// Normal-mode deletion recovery.
+    /// Normal-mode deletion recovery. Detaches the pooled vertex/touched
+    /// buffers from `self`, runs the core, and reattaches them so their
+    /// capacity survives across steps (including the early type-2 return).
     fn delete_normal(&mut self, victim: NodeId, rescuer: NodeId) -> RecoveryKind {
+        let mut zs = std::mem::take(&mut self.heal.zs);
+        let mut touched = std::mem::take(&mut self.heal.touched);
+        zs.clear();
+        zs.extend_from_slice(self.map.sim(victim));
+        touched.clear();
+        let kind = self.delete_normal_core(rescuer, &zs, &mut touched);
+        self.heal.zs = zs;
+        self.heal.touched = touched;
+        kind
+    }
+
+    fn delete_normal_core(
+        &mut self,
+        rescuer: NodeId,
+        zs: &[VertexId],
+        touched: &mut Vec<NodeId>,
+    ) -> RecoveryKind {
         // Rescuer adopts the victim's vertices and restores their edges.
-        let zs: Vec<VertexId> = self.map.sim(victim).to_vec();
         debug_assert!(!zs.is_empty(), "every node simulates >= 1 vertex");
-        fabric::adopt_vertices(&mut self.net, &mut self.map, &self.cycle, &zs, rescuer);
+        fabric::adopt_vertices(
+            &mut self.net,
+            &mut self.map,
+            &self.cycle,
+            zs,
+            rescuer,
+            &mut self.heal.insts,
+        );
         self.net.charge_messages(3 * zs.len() as u64);
         self.net.charge_rounds(1);
 
@@ -322,7 +362,7 @@ impl DexNetwork {
         // Load updates to neighbors are batched: each touched node informs
         // its neighbors once at the end of the recovery.
         let walk_len = self.cfg.walk_len(self.cycle.p());
-        let mut touched: Vec<NodeId> = vec![rescuer];
+        touched.push(rescuer);
         for (i, &z) in zs.iter().enumerate() {
             let mut attempt = 0;
             loop {
@@ -342,7 +382,14 @@ impl DexNetwork {
                 if let Some(w) = out.hit {
                     self.walk_stats.hits += 1;
                     if w != rescuer {
-                        fabric::move_vertices(&mut self.net, &mut self.map, &self.cycle, &[z], w);
+                        fabric::move_vertices(
+                            &mut self.net,
+                            &mut self.map,
+                            &self.cycle,
+                            &[z],
+                            w,
+                            &mut self.heal.insts,
+                        );
                         self.net.charge_messages(4);
                         self.net.charge_rounds(1);
                         touched.push(w);
@@ -379,7 +426,7 @@ impl DexNetwork {
         }
         touched.sort_unstable();
         touched.dedup();
-        self.charge_load_updates(&touched);
+        self.charge_load_updates(touched);
         RecoveryKind::Type1
     }
 

@@ -31,15 +31,19 @@ pub fn canonical_edges_of(cycle: &PCycle, z: VertexId) -> Vec<(VertexId, VertexI
 }
 
 /// All virtual-edge instances with at least one endpoint in `set`, each
-/// exactly once. `set` must be duplicate-free.
+/// exactly once, appended to the caller's buffer (`out` is cleared first).
+/// `set` must be duplicate-free.
 ///
 /// Dedup rules: the successor edge is sourced at `z`; the predecessor edge
 /// is included only when `pred(z) ∉ set` (otherwise it is the predecessor's
 /// successor edge); chords are included when the partner is outside `set`
 /// or `z` is the canonical (smaller) endpoint; loops always.
-pub fn incident_edges_of_set(cycle: &PCycle, set: &[VertexId]) -> Vec<(VertexId, VertexId)> {
+///
+/// The healing hot path calls this for every vertex move; threading the
+/// buffer from [`crate::scratch::HealScratch`] keeps it allocation-free.
+pub fn incident_edges_into(cycle: &PCycle, set: &[VertexId], out: &mut Vec<(VertexId, VertexId)>) {
+    out.clear();
     let in_set = |v: VertexId| set.contains(&v);
-    let mut out = Vec::with_capacity(set.len() * 3);
     for &z in set {
         out.push((z, cycle.succ(z)));
         let p = cycle.pred(z);
@@ -53,6 +57,12 @@ pub fn incident_edges_of_set(cycle: &PCycle, set: &[VertexId]) -> Vec<(VertexId,
             out.push((z, c));
         }
     }
+}
+
+/// Allocating convenience wrapper over [`incident_edges_into`].
+pub fn incident_edges_of_set(cycle: &PCycle, set: &[VertexId]) -> Vec<(VertexId, VertexId)> {
+    let mut out = Vec::with_capacity(set.len() * 3);
+    incident_edges_into(cycle, set, &mut out);
     out
 }
 
@@ -60,15 +70,25 @@ pub fn incident_edges_of_set(cycle: &PCycle, set: &[VertexId]) -> Vec<(VertexId,
 /// selects whether edges count as algorithm topology changes (bootstrap
 /// passes `false`).
 pub fn materialize_all(net: &mut Network, map: &VirtualMapping, cycle: &PCycle, charged: bool) {
+    for_each_canonical_edge(cycle, |a, b| {
+        let (ua, ub) = (map.owner_of(a), map.owner_of(b));
+        if charged {
+            net.add_edge(ua, ub);
+        } else {
+            net.adversary_add_edge(ua, ub);
+        }
+    });
+}
+
+/// Visit every canonical virtual-edge instance of `cycle` exactly once,
+/// without allocating (the fabric-wide analogue of [`canonical_edges_of`]).
+pub fn for_each_canonical_edge(cycle: &PCycle, mut f: impl FnMut(VertexId, VertexId)) {
     for x in 0..cycle.p() {
         let z = VertexId(x);
-        for (a, b) in canonical_edges_of(cycle, z) {
-            let (ua, ub) = (map.owner_of(a), map.owner_of(b));
-            if charged {
-                net.add_edge(ua, ub);
-            } else {
-                net.adversary_add_edge(ua, ub);
-            }
+        f(z, cycle.succ(z));
+        let c = cycle.chord(z);
+        if c == z || z < c {
+            f(z, c);
         }
     }
 }
@@ -78,13 +98,10 @@ pub fn materialize_all(net: &mut Network, map: &VirtualMapping, cycle: &PCycle, 
 /// invariant checker and by [`rewire_to_target`].
 pub fn expected_edge_multiset(map: &VirtualMapping, cycle: &PCycle) -> Vec<(NodeId, NodeId)> {
     let mut out = Vec::with_capacity(cycle.p() as usize * 2);
-    for x in 0..cycle.p() {
-        let z = VertexId(x);
-        for (a, b) in canonical_edges_of(cycle, z) {
-            let (ua, ub) = (map.owner_of(a), map.owner_of(b));
-            out.push((ua.min(ub), ua.max(ub)));
-        }
-    }
+    for_each_canonical_edge(cycle, |a, b| {
+        let (ua, ub) = (map.owner_of(a), map.owner_of(b));
+        out.push((ua.min(ub), ua.max(ub)));
+    });
     out.sort_unstable();
     out
 }
@@ -92,16 +109,19 @@ pub fn expected_edge_multiset(map: &VirtualMapping, cycle: &PCycle) -> Vec<(Node
 /// Move the vertex set `zs` (all owned by a live node) to node `to`:
 /// removes every incident physical instance, retargets the mapping, and
 /// re-adds the instances under the new owners. All edge churn is charged.
-/// O(|zs|) topology changes.
+/// O(|zs|) topology changes. `insts` is a reusable instance buffer
+/// (typically [`crate::scratch::HealScratch::insts`]); its prior contents
+/// are discarded.
 pub fn move_vertices(
     net: &mut Network,
     map: &mut VirtualMapping,
     cycle: &PCycle,
     zs: &[VertexId],
     to: NodeId,
+    insts: &mut Vec<(VertexId, VertexId)>,
 ) {
-    let instances = incident_edges_of_set(cycle, zs);
-    for &(a, b) in &instances {
+    incident_edges_into(cycle, zs, insts);
+    for &(a, b) in insts.iter() {
         let (ua, ub) = (map.owner_of(a), map.owner_of(b));
         assert!(
             net.remove_edge(ua, ub),
@@ -111,7 +131,7 @@ pub fn move_vertices(
     for &z in zs {
         map.transfer(z, to);
     }
-    for &(a, b) in &instances {
+    for &(a, b) in insts.iter() {
         net.add_edge(map.owner_of(a), map.owner_of(b));
     }
 }
@@ -119,18 +139,21 @@ pub fn move_vertices(
 /// After the adversary deleted node `dead` (taking all its physical edges
 /// with it), node `to` adopts the vertex set `zs` that `dead` simulated:
 /// retarget the mapping and re-add the lost instances. Additions are
-/// charged; nothing is removed (the attack already removed it).
+/// charged; nothing is removed (the attack already removed it). `insts`
+/// is a reusable instance buffer; its prior contents are discarded.
 pub fn adopt_vertices(
     net: &mut Network,
     map: &mut VirtualMapping,
     cycle: &PCycle,
     zs: &[VertexId],
     to: NodeId,
+    insts: &mut Vec<(VertexId, VertexId)>,
 ) {
     for &z in zs {
         map.transfer(z, to);
     }
-    for (a, b) in incident_edges_of_set(cycle, zs) {
+    incident_edges_into(cycle, zs, insts);
+    for &(a, b) in insts.iter() {
         net.add_edge(map.owner_of(a), map.owner_of(b));
     }
 }
@@ -300,7 +323,14 @@ mod tests {
     fn move_vertex_keeps_fabric_exact() {
         let (mut net, mut map, cycle) = world(23, 5);
         net.begin_step();
-        move_vertices(&mut net, &mut map, &cycle, &[VertexId(7)], NodeId(0));
+        move_vertices(
+            &mut net,
+            &mut map,
+            &cycle,
+            &[VertexId(7)],
+            NodeId(0),
+            &mut Vec::new(),
+        );
         let m = net.end_step(dex_sim::StepKind::Insert, dex_sim::RecoveryKind::Type1);
         assert!(
             m.topology_changes <= 6,
@@ -323,6 +353,7 @@ mod tests {
             &cycle,
             &[VertexId(3), VertexId(4), VertexId(5)],
             NodeId(1),
+            &mut Vec::new(),
         );
         net.end_step(dex_sim::StepKind::Insert, dex_sim::RecoveryKind::Type1);
         let expected = expected_edge_multiset(&map, &cycle);
@@ -336,7 +367,7 @@ mod tests {
         let zs: Vec<VertexId> = map.sim(NodeId(2)).to_vec();
         net.adversary_remove_node(NodeId(2));
         net.begin_step();
-        adopt_vertices(&mut net, &mut map, &cycle, &zs, NodeId(3));
+        adopt_vertices(&mut net, &mut map, &cycle, &zs, NodeId(3), &mut Vec::new());
         net.end_step(dex_sim::StepKind::Delete, dex_sim::RecoveryKind::Type1);
         let expected = expected_edge_multiset(&map, &cycle);
         verify_fabric(&net, &expected).unwrap();

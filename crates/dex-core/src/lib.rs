@@ -40,6 +40,7 @@ pub mod fabric;
 pub mod invariants;
 pub mod mapping;
 pub mod routing;
+pub mod scratch;
 pub mod staggered;
 pub mod type2_simple;
 

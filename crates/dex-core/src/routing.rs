@@ -19,16 +19,37 @@
 use crate::mapping::VirtualMapping;
 use dex_graph::ids::{NodeId, VertexId};
 use dex_graph::pcycle::{PCycle, PathOracle};
-use dex_sim::tokens::route_batch;
+use dex_sim::tokens::route_batch_flat;
 use dex_sim::Network;
 
 /// Largest p for which one-shot type-2 executes real permutation routing.
 pub const EXACT_ROUTING_MAX_P: u64 = 2500;
 
+/// Reusable path-resolution buffers for [`route_pairs_with`]: all token
+/// paths live in one flat node buffer addressed by `(start, len)` ranges,
+/// so resolving a permutation allocates nothing per pair.
+#[derive(Default)]
+pub struct RouteScratch {
+    /// Flattened physical paths, one range per token.
+    flat: Vec<NodeId>,
+    /// `(start, len)` of each token's path within `flat`.
+    ranges: Vec<(usize, usize)>,
+}
+
+impl RouteScratch {
+    /// Fresh (empty) scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Route one token per `(source, target)` vertex pair along virtual
 /// shortest paths mapped to physical node paths (Fact 1), with at most
 /// `cap` tokens per directed physical edge per round. Returns the makespan
 /// in rounds; messages and rounds are charged to `net`.
+///
+/// Convenience wrapper allocating a throwaway [`RouteScratch`]; repeated
+/// callers (the type-2 procedures) hold one and use [`route_pairs_with`].
 pub fn route_pairs(
     net: &mut Network,
     map: &VirtualMapping,
@@ -36,18 +57,34 @@ pub fn route_pairs(
     pairs: &[(VertexId, VertexId)],
     cap: usize,
 ) -> u64 {
+    route_pairs_with(net, map, cycle, pairs, cap, &mut RouteScratch::new())
+}
+
+/// [`route_pairs`] resolving owners into the caller-provided flat buffer:
+/// each virtual path is walked hop by hop and its owners appended to one
+/// shared `Vec<NodeId>` — no per-pair `Vec`.
+pub fn route_pairs_with(
+    net: &mut Network,
+    map: &VirtualMapping,
+    cycle: &PCycle,
+    pairs: &[(VertexId, VertexId)],
+    cap: usize,
+    scratch: &mut RouteScratch,
+) -> u64 {
     let mut oracle = PathOracle::new(*cycle);
-    let mut paths: Vec<Vec<NodeId>> = Vec::with_capacity(pairs.len());
+    scratch.flat.clear();
+    scratch.ranges.clear();
     for &(src, dst) in pairs {
-        let mut vp = vec![src];
+        let start = scratch.flat.len();
+        scratch.flat.push(map.owner_of(src));
         let mut cur = src;
         while let Some(next) = oracle.next_hop(cur, dst) {
-            vp.push(next);
+            scratch.flat.push(map.owner_of(next));
             cur = next;
         }
-        paths.push(vp.into_iter().map(|z| map.owner_of(z)).collect());
+        scratch.ranges.push((start, scratch.flat.len() - start));
     }
-    route_batch(net, &paths, cap)
+    route_batch_flat(net, &scratch.flat, &scratch.ranges, cap)
 }
 
 /// The inverse-chord permutation of `Z(p)`: vertex `x` routes to `x⁻¹`

@@ -59,11 +59,16 @@ fn inverse_edge_routing(dex: &mut DexNetwork, inflating: bool, new_cycle: &PCycl
         crate::routing::deflation_inverse_pairs(p_old, p_new)
     };
     // Pairs whose sources live on the same node are local and free.
-    let pairs: Vec<_> = pairs
-        .into_iter()
-        .filter(|&(a, b)| dex.map.owner_of(a) != dex.map.owner_of(b))
-        .collect();
-    crate::routing::route_pairs(&mut dex.net, &dex.map, &dex.cycle, &pairs, 1);
+    let mut pairs = pairs;
+    pairs.retain(|&(a, b)| dex.map.owner_of(a) != dex.map.owner_of(b));
+    crate::routing::route_pairs_with(
+        &mut dex.net,
+        &dex.map,
+        &dex.cycle,
+        &pairs,
+        1,
+        &mut dex.heal.route,
+    );
 }
 
 /// Smallest prime we are willing to deflate to (`PCycle` needs p ≥ 5;
@@ -85,11 +90,13 @@ pub fn inflate(dex: &mut DexNetwork, pending: Option<(NodeId, NodeId)>) {
 
     // Phase 1: every node locally replaces each owned vertex x by its
     // cloud (Eq. 6–8). Local computation is free.
-    let mut new_map = VirtualMapping::new(dex.cfg.zeta);
-    for (z, owner) in dex.map.entries_sorted() {
-        for y in resize::inflation_cloud(z.0, p_old, p_new) {
-            new_map.assign(VertexId(y), owner);
-        }
+    let mut new_map = VirtualMapping::with_vertex_capacity(dex.cfg.zeta, p_new);
+    for (z, owner) in dex.map.entries() {
+        // Clouds are contiguous (Eq. 7): one run assignment per old
+        // vertex — a single owner-slot resolution and sequential dense
+        // writes instead of α separate assigns.
+        let (start, len) = resize::inflation_cloud_range(z.0, p_old, p_new);
+        new_map.assign_run(VertexId(start), len, owner);
     }
     // Cycle edges come from the old cycle's edges: O(1) rounds, one
     // message per old cycle edge per direction.
@@ -139,8 +146,8 @@ pub fn deflate(dex: &mut DexNetwork, root: NodeId) {
 
     // Phase 1: dominating vertices survive (y = ⌊x/α⌋, smallest preimage
     // keeps it); everything else is contracted away.
-    let mut new_map = VirtualMapping::new(dex.cfg.zeta);
-    for (z, owner) in dex.map.entries_sorted() {
+    let mut new_map = VirtualMapping::with_vertex_capacity(dex.cfg.zeta, p_new);
+    for (z, owner) in dex.map.entries() {
         if resize::is_dominating(z.0, p_old, p_new) {
             new_map.assign(VertexId(resize::deflation_image(z.0, p_old, p_new)), owner);
         }
@@ -302,7 +309,14 @@ fn rebalance_overload(dex: &mut DexNetwork) {
             let host = dex.map.owner_of(land);
             let origin = dex.map.owner_of(z);
             if landing_count[&land] == 1 && !full.contains(&host) && host != origin {
-                fabric::move_vertices(&mut dex.net, &mut dex.map, &dex.cycle, &[z], host);
+                fabric::move_vertices(
+                    &mut dex.net,
+                    &mut dex.map,
+                    &dex.cycle,
+                    &[z],
+                    host,
+                    &mut dex.heal.insts,
+                );
                 dex.net.charge_messages(4);
                 dex.net.charge_rounds(1);
                 if dex.map.load(host) > two_zeta {

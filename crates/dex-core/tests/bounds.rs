@@ -33,7 +33,7 @@ fn type1_topology_changes_are_constant() {
     mixed_churn(&mut dex, 200, 42);
     let type1: Vec<u64> = dex
         .net
-        .history
+        .history()
         .iter()
         .filter(|m| m.recovery == RecoveryKind::Type1)
         .map(|m| m.topology_changes)
@@ -54,7 +54,7 @@ fn per_step_costs_scale_logarithmically() {
         mixed_churn(&mut dex, 150, 7);
         let rounds = Summary::of(
             dex.net
-                .history
+                .history()
                 .iter()
                 .filter(|m| m.recovery == RecoveryKind::Type1)
                 .map(|m| m.rounds),

@@ -118,7 +118,7 @@ fn deterministic_replay() {
         let dex = churn(dex, 120, 0.6, seed);
         let mut edges = dex.graph().edges();
         edges.sort();
-        (dex.n(), edges, dex.net.history.len())
+        (dex.n(), edges, dex.net.history().len())
     };
     assert_eq!(run(42), run(42));
 }

@@ -1,0 +1,175 @@
+//! Differential tests: the slot-arena Φ against the legacy HashMap Φ.
+//!
+//! A long random insert/delete/batch-style op sequence is driven through
+//! both implementations; after *every* operation the observable state —
+//! owner of every touched vertex, every `Sim` slice (order included: both
+//! implementations use push + swap-remove, so slices must match exactly),
+//! load, `|Spare|`, `|Low|`, node and vertex counts — must be identical,
+//! and the slot implementation's internal structures must validate.
+
+use dex_core::mapping::oracle::HashMapping;
+use dex_core::VirtualMapping;
+use dex_graph::ids::{NodeId, VertexId};
+use proptest::prelude::*;
+
+/// One scripted operation over a bounded vertex/node universe.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Assign vertex `z` to node `u` (skipped if `z` is owned).
+    Assign(u64, u64),
+    /// Unassign vertex `z` (skipped if unowned).
+    Unassign(u64),
+    /// Transfer vertex `z` to node `u` (skipped if unowned).
+    Transfer(u64, u64),
+    /// Batch: assign a run of `k` consecutive vertices starting at `z`
+    /// to node `u` (the type-2 rebuild / batch-insert shape).
+    AssignRun(u64, u64, u8),
+    /// Batch: unassign a run of `k` consecutive vertices starting at `z`
+    /// (the batch-delete shape).
+    UnassignRun(u64, u8),
+}
+
+const VERTS: u64 = 512;
+const NODES: u64 = 37;
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (0u8..8, 0u64..VERTS, 0u64..NODES, 0u8..9).prop_map(|(kind, z, u, k)| match kind % 8 {
+        0 | 1 => Op::Assign(z, u),
+        2 => Op::Unassign(z),
+        3..=5 => Op::Transfer(z, u),
+        6 => Op::AssignRun(z, u, k % 9 + 1),
+        _ => Op::UnassignRun(z, k % 9 + 1),
+    })
+}
+
+/// Apply `op` to both implementations, asserting identical behaviour.
+fn apply_both(fast: &mut VirtualMapping, slow: &mut HashMapping, op: Op) {
+    let one = |fast: &mut VirtualMapping, slow: &mut HashMapping, z: u64, u: Option<u64>| {
+        let z = VertexId(z);
+        let owned = slow.owner(z).is_some();
+        assert_eq!(fast.owner(z), slow.owner(z));
+        match (u, owned) {
+            (Some(u), false) => {
+                fast.assign(z, NodeId(u));
+                slow.assign(z, NodeId(u));
+            }
+            (Some(u), true) => {
+                assert_eq!(fast.transfer(z, NodeId(u)), slow.transfer(z, NodeId(u)));
+            }
+            (None, true) => {
+                assert_eq!(fast.unassign(z), slow.unassign(z));
+            }
+            (None, false) => {}
+        }
+    };
+    match op {
+        Op::Assign(z, u) => {
+            if slow.owner(VertexId(z)).is_none() {
+                one(fast, slow, z, Some(u));
+            }
+        }
+        Op::Transfer(z, u) => {
+            if slow.owner(VertexId(z)).is_some() {
+                one(fast, slow, z, Some(u));
+            }
+        }
+        Op::Unassign(z) => one(fast, slow, z, None),
+        Op::AssignRun(z, u, k) => {
+            for i in 0..k as u64 {
+                let zi = (z + i) % VERTS;
+                if slow.owner(VertexId(zi)).is_none() {
+                    one(fast, slow, zi, Some((u + i) % NODES));
+                }
+            }
+        }
+        Op::UnassignRun(z, k) => {
+            for i in 0..k as u64 {
+                one(fast, slow, (z + i) % VERTS, None);
+            }
+        }
+    }
+}
+
+/// Full observable-state comparison.
+fn assert_same(fast: &VirtualMapping, slow: &HashMapping) {
+    assert_eq!(fast.num_vertices(), slow.num_vertices());
+    assert_eq!(fast.num_nodes(), slow.num_nodes());
+    assert_eq!(fast.spare_count(), slow.spare_count());
+    assert_eq!(fast.low_count(), slow.low_count());
+    assert_eq!(fast.max_load(), slow.max_load());
+    for u in 0..NODES {
+        assert_eq!(fast.load(NodeId(u)), slow.load(NodeId(u)), "load({u})");
+        assert_eq!(fast.sim(NodeId(u)), slow.sim(NodeId(u)), "sim({u})");
+    }
+    for z in 0..VERTS {
+        assert_eq!(
+            fast.owner(VertexId(z)),
+            slow.owner(VertexId(z)),
+            "owner({z})"
+        );
+    }
+    // Canonical-order entries: the dense scan vs the collect-and-sort
+    // oracle path.
+    assert_eq!(fast.entries_sorted(), slow.entries_sorted());
+    let scanned: Vec<_> = fast.entries().collect();
+    assert_eq!(scanned, slow.entries_sorted());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn slot_phi_matches_hashmap_phi_on_random_scripts(
+        ops in proptest::collection::vec(arb_op(), 1..400)
+    ) {
+        let mut fast = VirtualMapping::new(8);
+        let mut slow = HashMapping::new(8);
+        for (i, &op) in ops.iter().enumerate() {
+            apply_both(&mut fast, &mut slow, op);
+            // Counters/owners after every op; full deep compare periodically
+            // (the deep compare is O(V + N·load)).
+            prop_assert_eq!(fast.num_vertices(), slow.num_vertices());
+            prop_assert_eq!(fast.spare_count(), slow.spare_count());
+            prop_assert_eq!(fast.low_count(), slow.low_count());
+            if i % 16 == 0 {
+                fast.validate().map_err(proptest::prelude::TestCaseError::fail)?;
+                assert_same(&fast, &slow);
+            }
+        }
+        fast.validate().map_err(proptest::prelude::TestCaseError::fail)?;
+        assert_same(&fast, &slow);
+    }
+
+    #[test]
+    fn slot_phi_survives_dense_fill_and_drain(
+        seed in any::<u64>()
+    ) {
+        // Type-2 shape: fill the whole vertex space, churn, drain.
+        let mut fast = VirtualMapping::new(8);
+        let mut slow = HashMapping::new(8);
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s >> 11
+        };
+        for z in 0..VERTS {
+            let u = next() % NODES;
+            fast.assign(VertexId(z), NodeId(u));
+            slow.assign(VertexId(z), NodeId(u));
+        }
+        assert_same(&fast, &slow);
+        for _ in 0..200 {
+            let z = next() % VERTS;
+            let u = next() % NODES;
+            assert_eq!(fast.transfer(VertexId(z), NodeId(u)), slow.transfer(VertexId(z), NodeId(u)));
+        }
+        fast.validate().map_err(proptest::prelude::TestCaseError::fail)?;
+        assert_same(&fast, &slow);
+        for z in 0..VERTS {
+            assert_eq!(fast.unassign(VertexId(z)), slow.unassign(VertexId(z)));
+        }
+        prop_assert_eq!(fast.num_vertices(), 0);
+        prop_assert_eq!(fast.num_nodes(), 0);
+        fast.validate().map_err(proptest::prelude::TestCaseError::fail)?;
+    }
+}

@@ -54,6 +54,12 @@ const GEN_NONE: u64 = 0;
 /// Sentinel dense index for dead slots.
 const NO_DENSE: u32 = u32::MAX;
 
+/// Floor capacity of a slot's adjacency list. DEX keeps deg(u) ≤ 3·load(u)
+/// with typical steady-state loads ≤ 8, so 32 entries (one 128-byte
+/// allocation) covers almost every node for its whole lifetime — growth
+/// reallocs on the healing hot path all but disappear.
+const ADJ_MIN_CAP: usize = 32;
+
 #[derive(Clone)]
 struct Slot {
     id: NodeId,
@@ -281,6 +287,9 @@ impl MultiGraph {
                 debug_assert!(!cell.alive && cell.adj.is_empty());
                 cell.id = u;
                 cell.alive = true;
+                if cell.adj.capacity() < ADJ_MIN_CAP {
+                    cell.adj.reserve(ADJ_MIN_CAP);
+                }
                 s
             }
             None => {
@@ -288,7 +297,7 @@ impl MultiGraph {
                 self.slots.push(Slot {
                     id: u,
                     alive: true,
-                    adj: Vec::new(),
+                    adj: Vec::with_capacity(ADJ_MIN_CAP),
                 });
                 s
             }
@@ -305,7 +314,7 @@ impl MultiGraph {
     /// `u` was not present.
     pub fn remove_node(&mut self, u: NodeId) -> Option<usize> {
         let slot = self.index.remove(&u)?;
-        let incident = std::mem::take(&mut self.slots[slot as usize].adj);
+        let mut incident = std::mem::take(&mut self.slots[slot as usize].adj);
         let mut removed = 0usize;
         for &v in &incident {
             removed += 1;
@@ -318,6 +327,11 @@ impl MultiGraph {
                 list.swap_remove(pos);
             }
         }
+        // Hand the (cleared) list back to the slot: its capacity is reused
+        // when the free-list recycles the slot, keeping steady-state
+        // delete→insert churn allocation-free.
+        incident.clear();
+        self.slots[slot as usize].adj = incident;
         self.slots[slot as usize].alive = false;
         self.free.push(slot);
         self.live -= 1;

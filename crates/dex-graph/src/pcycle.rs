@@ -287,9 +287,19 @@ pub mod resize {
     /// `Z_{p_new}` (a bijection between ⋃ clouds and `Z_{p_new}`), with
     /// cloud size ≤ ζ = 8 because `α < 8`.
     pub fn inflation_cloud(x: u64, p_old: u64, p_new: u64) -> Vec<u64> {
+        let (base, len) = inflation_cloud_range(x, p_old, p_new);
+        (0..len).map(|j| (base + j) % p_new).collect()
+    }
+
+    /// The cloud of `x` as a contiguous `(start, len)` range — clouds are
+    /// the consecutive intervals `[⌈αx⌉, ⌈α(x+1)⌉)` partitioning
+    /// `[0, p_new)`, so no wraparound occurs. The allocation-free form the
+    /// type-2 rebuild consumes (`VirtualMapping::assign_run`).
+    pub fn inflation_cloud_range(x: u64, p_old: u64, p_new: u64) -> (u64, u64) {
         let base = ceil_mul_div(x, p_new, p_old);
         let c = inflation_c(x, p_old, p_new);
-        (0..=c).map(|j| (base + j) % p_new).collect()
+        debug_assert!(base + c < p_new, "cloud of {x} wraps");
+        (base, c + 1)
     }
 
     /// Inverse of [`inflation_cloud`]: the old vertex whose cloud contains

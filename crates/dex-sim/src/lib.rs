@@ -30,5 +30,5 @@ pub mod parallel;
 pub mod rng;
 pub mod tokens;
 
-pub use metrics::{RecoveryKind, StepAggregate, StepKind, StepMetrics, Summary};
-pub use network::Network;
+pub use metrics::{RecoveryKind, StepAggregate, StepKind, StepLog, StepMetrics, Summary};
+pub use network::{HistoryMode, Network, StepTotals};

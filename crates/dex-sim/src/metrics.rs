@@ -112,6 +112,50 @@ impl Summary {
     }
 }
 
+/// Compact columnar log of a [`StepMetrics`] stream: just the three
+/// counters Theorem 1 talks about, one `u64` column each, plus the type-2
+/// step count. This is what a streaming driver retains per step instead of
+/// whole `StepMetrics` records (24 bytes/step vs. the full struct), and it
+/// is exactly the input [`Summary`] percentiles need.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StepLog {
+    /// Rounds per step.
+    pub rounds: Vec<u64>,
+    /// Messages per step.
+    pub messages: Vec<u64>,
+    /// Topology changes per step.
+    pub topology: Vec<u64>,
+    /// Steps whose recovery was a type-2 flavour.
+    pub type2_steps: usize,
+}
+
+impl StepLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one step's counters.
+    pub fn push(&mut self, m: &StepMetrics) {
+        self.rounds.push(m.rounds);
+        self.messages.push(m.messages);
+        self.topology.push(m.topology_changes);
+        if m.recovery.is_type2() {
+            self.type2_steps += 1;
+        }
+    }
+
+    /// Number of steps logged.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+}
+
 /// Percentile aggregate over a whole [`StepMetrics`] stream — the shape
 /// every scenario/workload report reduces to. Aggregates from several
 /// independent trials concatenate before summarizing (the percentiles are
@@ -151,6 +195,24 @@ impl StepAggregate {
             messages: Summary::of(messages),
             topology: Summary::of(topology),
             type2_steps,
+        }
+    }
+
+    /// Pool several trials' [`StepLog`]s into one aggregate (percentiles
+    /// over the concatenated per-step samples, matching
+    /// [`StepAggregate::of`] on the equivalent `StepMetrics` stream).
+    pub fn of_logs<'a>(logs: impl IntoIterator<Item = &'a StepLog>) -> StepAggregate {
+        let logs: Vec<&StepLog> = logs.into_iter().collect();
+        let steps = logs.iter().map(|l| l.len()).sum();
+        let pool = |col: fn(&StepLog) -> &[u64]| {
+            Summary::of(logs.iter().flat_map(|l| col(l).iter().copied()))
+        };
+        StepAggregate {
+            steps,
+            rounds: pool(|l| &l.rounds),
+            messages: pool(|l| &l.messages),
+            topology: pool(|l| &l.topology),
+            type2_steps: logs.iter().map(|l| l.type2_steps).sum(),
         }
     }
 }
@@ -221,6 +283,44 @@ mod tests {
         let empty = StepAggregate::of(std::iter::empty());
         assert_eq!(empty.steps, 0);
         assert_eq!(empty.type2_steps, 0);
+    }
+
+    #[test]
+    fn log_pooling_matches_full_metrics_aggregate() {
+        let mk = |step: u64, rounds: u64, recovery: RecoveryKind| StepMetrics {
+            step,
+            kind: StepKind::Insert,
+            recovery,
+            rounds,
+            messages: rounds * 3 + 1,
+            topology_changes: step % 4,
+            n_after: 9,
+        };
+        let steps: Vec<StepMetrics> = (1..40)
+            .map(|i| {
+                mk(
+                    i,
+                    i * 7 % 13,
+                    if i % 5 == 0 {
+                        RecoveryKind::DeflateSimple
+                    } else {
+                        RecoveryKind::Type1
+                    },
+                )
+            })
+            .collect();
+        // Split the stream over two logs like two trials would.
+        let mut a = StepLog::new();
+        let mut b = StepLog::new();
+        for (i, m) in steps.iter().enumerate() {
+            if i % 2 == 0 { &mut a } else { &mut b }.push(m);
+        }
+        assert_eq!(
+            StepAggregate::of_logs([&a, &b]),
+            StepAggregate::of(&steps),
+            "pooled log percentiles must match the StepMetrics path"
+        );
+        assert_eq!(StepAggregate::of_logs([]).steps, 0);
     }
 
     #[test]

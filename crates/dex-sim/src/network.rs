@@ -17,6 +17,38 @@
 use crate::metrics::{RecoveryKind, StepKind, StepMetrics};
 use dex_graph::adjacency::MultiGraph;
 use dex_graph::ids::NodeId;
+use std::collections::VecDeque;
+
+/// How the network records per-step metrics. Long-running large-n drivers
+/// (the 1M-node churn benchmarks) switch away from [`HistoryMode::Full`]
+/// so a multi-thousand-step run does not hold every [`StepMetrics`] live;
+/// running [`StepTotals`] are maintained in every mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistoryMode {
+    /// Keep every step (default — tests and experiment-scale harnesses).
+    Full,
+    /// Ring buffer of the most recent `k` steps.
+    Window(usize),
+    /// Keep no per-step history at all.
+    Off,
+}
+
+/// Running totals over every completed step, maintained regardless of the
+/// [`HistoryMode`] — the O(1)-memory summary a streaming driver reads
+/// instead of the history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepTotals {
+    /// Completed steps.
+    pub steps: u64,
+    /// Total rounds across all steps.
+    pub rounds: u64,
+    /// Total messages across all steps.
+    pub messages: u64,
+    /// Total topology changes across all steps.
+    pub topology_changes: u64,
+    /// Steps whose recovery was a type-2 flavour.
+    pub type2_steps: u64,
+}
 
 /// Metered dynamic network. See module docs.
 pub struct Network {
@@ -26,12 +58,15 @@ pub struct Network {
     topology_changes: u64,
     in_step: bool,
     step_counter: u64,
-    /// Per-step metric history (push order = step order).
-    pub history: Vec<StepMetrics>,
+    mode: HistoryMode,
+    /// Per-step metric history (push order = step order; bounded by the
+    /// mode's window).
+    history: VecDeque<StepMetrics>,
+    totals: StepTotals,
 }
 
 impl Network {
-    /// Empty network.
+    /// Empty network recording full history.
     pub fn new() -> Self {
         Network {
             graph: MultiGraph::new(),
@@ -40,8 +75,39 @@ impl Network {
             topology_changes: 0,
             in_step: false,
             step_counter: 0,
-            history: Vec::new(),
+            mode: HistoryMode::Full,
+            history: VecDeque::new(),
+            totals: StepTotals::default(),
         }
+    }
+
+    /// Change how per-step metrics are retained. Shrinking modes drop the
+    /// oldest retained entries immediately; totals are unaffected.
+    pub fn set_history_mode(&mut self, mode: HistoryMode) {
+        self.mode = mode;
+        match mode {
+            HistoryMode::Full => {}
+            HistoryMode::Window(k) => {
+                while self.history.len() > k {
+                    self.history.pop_front();
+                }
+            }
+            HistoryMode::Off => self.history.clear(),
+        }
+    }
+
+    /// The retained per-step history (everything under
+    /// [`HistoryMode::Full`], the trailing window under
+    /// [`HistoryMode::Window`], empty under [`HistoryMode::Off`]).
+    #[inline]
+    pub fn history(&self) -> &VecDeque<StepMetrics> {
+        &self.history
+    }
+
+    /// Running totals over *all* completed steps (mode-independent).
+    #[inline]
+    pub fn totals(&self) -> StepTotals {
+        self.totals
     }
 
     /// Read-only view of the physical topology.
@@ -153,7 +219,25 @@ impl Network {
             topology_changes: self.topology_changes,
             n_after: self.n(),
         };
-        self.history.push(m);
+        self.totals.steps += 1;
+        self.totals.rounds += m.rounds;
+        self.totals.messages += m.messages;
+        self.totals.topology_changes += m.topology_changes;
+        if recovery.is_type2() {
+            self.totals.type2_steps += 1;
+        }
+        match self.mode {
+            HistoryMode::Full => self.history.push_back(m),
+            HistoryMode::Window(k) => {
+                if k > 0 {
+                    if self.history.len() == k {
+                        self.history.pop_front();
+                    }
+                    self.history.push_back(m);
+                }
+            }
+            HistoryMode::Off => {}
+        }
         m
     }
 
@@ -203,8 +287,46 @@ mod tests {
         net.begin_step();
         let m2 = net.end_step(StepKind::Delete, RecoveryKind::Type1);
         assert_eq!((m2.rounds, m2.messages), (0, 0));
-        assert_eq!(net.history.len(), 2);
-        assert_eq!(net.history[1].step, 2);
+        assert_eq!(net.history().len(), 2);
+        assert_eq!(net.history()[1].step, 2);
+    }
+
+    #[test]
+    fn window_mode_keeps_trailing_steps_and_totals_everything() {
+        let mut net = Network::new();
+        net.adversary_add_node(n(0));
+        net.set_history_mode(HistoryMode::Window(2));
+        for i in 0..5u64 {
+            net.begin_step();
+            net.charge_rounds(i + 1);
+            net.end_step(StepKind::Insert, RecoveryKind::Type1);
+        }
+        assert_eq!(net.history().len(), 2);
+        assert_eq!(net.history()[0].step, 4);
+        assert_eq!(net.history()[1].step, 5);
+        let t = net.totals();
+        assert_eq!(t.steps, 5);
+        assert_eq!(t.rounds, 1 + 2 + 3 + 4 + 5);
+        assert_eq!(t.type2_steps, 0);
+    }
+
+    #[test]
+    fn off_mode_retains_nothing_but_still_totals() {
+        let mut net = Network::new();
+        net.adversary_add_node(n(0));
+        net.set_history_mode(HistoryMode::Off);
+        net.begin_step();
+        net.charge_messages(7);
+        net.end_step(StepKind::Delete, RecoveryKind::InflateSimple);
+        assert!(net.history().is_empty());
+        assert_eq!(net.totals().messages, 7);
+        assert_eq!(net.totals().type2_steps, 1);
+        // Switching modes later drops retained entries but keeps totals.
+        net.set_history_mode(HistoryMode::Full);
+        net.begin_step();
+        net.end_step(StepKind::Insert, RecoveryKind::Type1);
+        assert_eq!(net.history().len(), 1);
+        assert_eq!(net.totals().steps, 2);
     }
 
     #[test]

@@ -120,20 +120,40 @@ pub fn route_path(net: &mut Network, path: &[NodeId]) {
 /// At most `cap` tokens traverse any directed physical edge per round.
 /// Returns the makespan in rounds; charges the makespan as rounds and each
 /// actual traversal as one message.
+///
+/// Convenience shape for tests and small callers; hot paths resolve paths
+/// into one flat buffer and call [`route_batch_flat`].
 pub fn route_batch(net: &mut Network, paths: &[Vec<NodeId>], cap: usize) -> u64 {
+    let mut flat: Vec<NodeId> = Vec::new();
+    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(paths.len());
+    for p in paths {
+        ranges.push((flat.len(), p.len()));
+        flat.extend_from_slice(p);
+    }
+    route_batch_flat(net, &flat, &ranges, cap)
+}
+
+/// [`route_batch`] over flattened paths: token `i` follows
+/// `flat[ranges[i].0 .. ranges[i].0 + ranges[i].1]`. Accepting the flat
+/// form lets callers resolve an entire permutation into one reused buffer
+/// with no per-token allocation (see `dex-core`'s `RouteScratch`).
+pub fn route_batch_flat(
+    net: &mut Network,
+    flat: &[NodeId],
+    ranges: &[(usize, usize)],
+    cap: usize,
+) -> u64 {
     assert!(cap >= 1);
+    let path = |i: usize| -> &[NodeId] {
+        let (start, len) = ranges[i];
+        &flat[start..start + len]
+    };
     // Positions of each token along its path.
-    let mut pos: Vec<usize> = vec![0; paths.len()];
-    let mut done = paths
-        .iter()
-        .enumerate()
-        .filter(|(i, p)| {
-            let _ = i;
-            p.len() <= 1
-        })
-        .count();
+    let mut pos: Vec<usize> = vec![0; ranges.len()];
+    let mut done = (0..ranges.len()).filter(|&i| path(i).len() <= 1).count();
     // Skip leading local handoffs.
-    for (i, p) in paths.iter().enumerate() {
+    for i in 0..ranges.len() {
+        let p = path(i);
         while pos[i] + 1 < p.len() && p[pos[i]] == p[pos[i] + 1] {
             pos[i] += 1;
         }
@@ -141,14 +161,15 @@ pub fn route_batch(net: &mut Network, paths: &[Vec<NodeId>], cap: usize) -> u64 
             done += 1;
         }
     }
-    let total = paths.len();
+    let total = ranges.len();
     let mut rounds = 0u64;
     let mut messages = 0u64;
     let mut edge_use: FxHashMap<(NodeId, NodeId), usize> = FxHashMap::default();
     while done < total {
         rounds += 1;
         edge_use.clear();
-        for (i, p) in paths.iter().enumerate() {
+        for i in 0..total {
+            let p = path(i);
             if pos[i] + 1 >= p.len() {
                 continue;
             }

@@ -93,8 +93,8 @@ fn history_records_every_step_in_order() {
         net.charge_rounds(i);
         net.end_step(StepKind::Insert, RecoveryKind::Type1);
     }
-    assert_eq!(net.history.len(), 5);
-    for (i, m) in net.history.iter().enumerate() {
+    assert_eq!(net.history().len(), 5);
+    for (i, m) in net.history().iter().enumerate() {
         assert_eq!(m.step, i as u64 + 1);
         assert_eq!(m.rounds, i as u64);
     }

@@ -13,7 +13,7 @@ use dex_graph::fxhash::FxHashMap;
 use dex_graph::spectral::Lambda2Solver;
 use dex_sim::parallel::{default_threads, par_map};
 use dex_sim::rng::splitmix64;
-use dex_sim::{StepAggregate, StepMetrics};
+use dex_sim::{HistoryMode, StepAggregate, StepLog, StepMetrics};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -42,6 +42,13 @@ pub struct RunOptions {
     /// Assert the full structural invariants after every action
     /// (O(n) per step — test-scale only).
     pub check_invariants: bool,
+    /// Retain the full replayable action trace in the report. Large-n
+    /// streaming runs turn this off; the compact [`StepLog`] (and hence
+    /// [`pool_aggregate`]) is unaffected.
+    pub keep_actions: bool,
+    /// Retain every [`StepMetrics`] record in the report. Off, the report
+    /// carries only the columnar [`StepLog`] (24 bytes/step).
+    pub keep_step_metrics: bool,
 }
 
 impl Default for RunOptions {
@@ -53,6 +60,8 @@ impl Default for RunOptions {
             lambda_every: 32,
             threads: default_threads(),
             check_invariants: false,
+            keep_actions: true,
+            keep_step_metrics: true,
         }
     }
 }
@@ -66,10 +75,15 @@ pub struct TrialReport {
     pub trial: usize,
     /// The trial's derived seed (replay: [`bootstrap_for`] + the trace).
     pub seed: u64,
-    /// Full action trace, replayable via `dex_adversary::trace`.
+    /// Full action trace, replayable via `dex_adversary::trace` (empty
+    /// when the run streamed with `keep_actions: false`).
     pub actions: Vec<Action>,
-    /// Per-step metered cost, aligned with `actions`.
+    /// Per-step metered cost, aligned with `actions` (empty when the run
+    /// streamed with `keep_step_metrics: false`).
     pub metrics: Vec<StepMetrics>,
+    /// Columnar per-step counters — always recorded; the streaming-mode
+    /// source of [`pool_aggregate`].
+    pub log: StepLog,
     /// Sampled λ₂ trajectory (index 0 is the bootstrap network).
     pub lambda2: Vec<f64>,
     /// DHT lookups whose result disagreed with the shadow oracle
@@ -101,9 +115,10 @@ pub fn run_trials(sc: &Scenario, opts: &RunOptions) -> Vec<TrialReport> {
     })
 }
 
-/// Pool all trials' per-step metrics into one percentile aggregate.
+/// Pool all trials' per-step metrics into one percentile aggregate
+/// (streams from the compact logs — works in every retention mode).
 pub fn pool_aggregate(reports: &[TrialReport]) -> StepAggregate {
-    StepAggregate::of(reports.iter().flat_map(|r| r.metrics.iter()))
+    StepAggregate::of_logs(reports.iter().map(|r| &r.log))
 }
 
 /// Run one trial sequentially.
@@ -123,18 +138,24 @@ pub fn run_scenario(
         known_keys: Vec::new(),
         actions: Vec::new(),
         metrics: Vec::new(),
+        log: StepLog::new(),
         lambda2: Vec::new(),
         dht_mismatches: 0,
         lambda_every: opts.lambda_every,
         check_invariants: opts.check_invariants,
+        keep_actions: opts.keep_actions,
+        keep_step_metrics: opts.keep_step_metrics,
     };
+    // The trial streams its own compact log; the inner network need not
+    // hold a second copy of every step.
+    t.dex.net.set_history_mode(HistoryMode::Off);
     t.sample_lambda();
     for phase in &sc.phases {
         t.run_phase(phase);
     }
     // Close the trajectory on the final topology (unless the last action
     // already sampled it).
-    if opts.lambda_every > 0 && !t.actions.len().is_multiple_of(opts.lambda_every) {
+    if opts.lambda_every > 0 && !t.log.len().is_multiple_of(opts.lambda_every) {
         t.sample_lambda();
     }
     TrialReport {
@@ -144,6 +165,7 @@ pub fn run_scenario(
         final_n: t.dex.n(),
         actions: t.actions,
         metrics: t.metrics,
+        log: t.log,
         lambda2: t.lambda2,
         dht_mismatches: t.dht_mismatches,
     }
@@ -161,10 +183,13 @@ struct Trial {
     known_keys: Vec<u64>,
     actions: Vec<Action>,
     metrics: Vec<StepMetrics>,
+    log: StepLog,
     lambda2: Vec<f64>,
     dht_mismatches: u64,
     lambda_every: usize,
     check_invariants: bool,
+    keep_actions: bool,
+    keep_step_metrics: bool,
 }
 
 impl Trial {
@@ -282,12 +307,18 @@ impl Trial {
             }
             other => driver::apply(&mut self.dex, other),
         };
-        self.metrics.push(m);
-        self.actions.push(a);
+        self.log.push(&m);
+        if self.keep_step_metrics {
+            self.metrics.push(m);
+        }
+        if self.keep_actions {
+            self.actions.push(a);
+        }
         if self.check_invariants {
             invariants::assert_ok(&self.dex);
         }
-        if self.lambda_every > 0 && self.actions.len().is_multiple_of(self.lambda_every) {
+        // The always-recorded log is the step counter (one entry per action).
+        if self.lambda_every > 0 && self.log.len().is_multiple_of(self.lambda_every) {
             self.sample_lambda();
         }
     }
@@ -348,6 +379,8 @@ mod tests {
             lambda_every: 16,
             threads: 2,
             check_invariants: true,
+            keep_actions: true,
+            keep_step_metrics: true,
         }
     }
 
@@ -387,6 +420,30 @@ mod tests {
                     "threads={threads}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn streaming_mode_matches_full_retention() {
+        let sc = small_scenario();
+        let mut o = opts();
+        o.check_invariants = false;
+        let full = run_trials(&sc, &o);
+        o.keep_actions = false;
+        o.keep_step_metrics = false;
+        let slim = run_trials(&sc, &o);
+        assert_eq!(pool_aggregate(&full), pool_aggregate(&slim));
+        for (a, b) in full.iter().zip(slim.iter()) {
+            assert!(b.actions.is_empty(), "streaming run must not keep traces");
+            assert!(b.metrics.is_empty(), "streaming run must not keep metrics");
+            assert_eq!(a.log, b.log, "compact log must be retention-invariant");
+            assert_eq!(a.lambda2, b.lambda2);
+            assert_eq!(a.final_n, b.final_n);
+            // And the full run's log matches its own retained metrics.
+            assert_eq!(
+                a.log.rounds,
+                a.metrics.iter().map(|m| m.rounds).collect::<Vec<_>>()
+            );
         }
     }
 

@@ -33,7 +33,7 @@ fn main() {
     println!("phase          size     virtual   health");
 
     // Flash crowd: 2000 peers join.
-    let start = net.net.history.len();
+    let start = net.net.history().len();
     for _ in 0..2000 {
         let attach = {
             let live = net.node_ids();
@@ -41,11 +41,11 @@ fn main() {
         };
         net.insert(ids.fresh(), attach);
     }
-    let steps: Vec<_> = net.net.history[start..].to_vec();
+    let steps: Vec<_> = net.net.history().iter().skip(start).copied().collect();
     report("flash crowd", &net, &steps);
 
     // Steady churn: 2000 steps at 50/50.
-    let start = net.net.history.len();
+    let start = net.net.history().len();
     for _ in 0..2000 {
         let live = net.node_ids();
         if rng.random_bool(0.5) {
@@ -55,27 +55,27 @@ fn main() {
             net.delete(live[rng.random_range(0..live.len())]);
         }
     }
-    let steps: Vec<_> = net.net.history[start..].to_vec();
+    let steps: Vec<_> = net.net.history().iter().skip(start).copied().collect();
     report("steady churn", &net, &steps);
 
     // Mass exodus: shrink back to ~32 peers.
-    let start = net.net.history.len();
+    let start = net.net.history().len();
     while net.n() > 32 {
         let live = net.node_ids();
         net.delete(live[rng.random_range(0..live.len())]);
     }
-    let steps: Vec<_> = net.net.history[start..].to_vec();
+    let steps: Vec<_> = net.net.history().iter().skip(start).copied().collect();
     report("mass exodus", &net, &steps);
 
     let type2 = net
         .net
-        .history
+        .history()
         .iter()
         .filter(|m| m.recovery.is_type2())
         .count();
     println!(
         "\n{} total steps, {} touched type-2 recovery; expander maintained throughout ✓",
-        net.net.history.len(),
+        net.net.history().len(),
         type2
     );
 }

@@ -25,7 +25,7 @@ fn main() {
     }
 
     // The paper's Theorem 1, observed:
-    let history = &net.net.history;
+    let history = net.net.history();
     let rounds = Summary::of(history.iter().map(|m| m.rounds));
     let messages = Summary::of(history.iter().map(|m| m.messages));
     let topo = Summary::of(history.iter().map(|m| m.topology_changes));

@@ -6,8 +6,8 @@ use dex::prelude::*;
 fn signature(net: &DexNetwork) -> (usize, u64, Vec<(NodeId, NodeId)>, u64, u64) {
     let mut edges = net.graph().edges();
     edges.sort();
-    let rounds: u64 = net.net.history.iter().map(|m| m.rounds).sum();
-    let msgs: u64 = net.net.history.iter().map(|m| m.messages).sum();
+    let rounds: u64 = net.net.history().iter().map(|m| m.rounds).sum();
+    let msgs: u64 = net.net.history().iter().map(|m| m.messages).sum();
     (net.n(), net.cycle.p(), edges, rounds, msgs)
 }
 
