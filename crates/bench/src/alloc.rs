@@ -1,0 +1,46 @@
+//! Shared counting allocator for the benchmark binaries and their
+//! determinism tests.
+//!
+//! Several benches report **bytes allocated per healing operation**
+//! (steady-state type-1 healing is expected to allocate nothing — every
+//! hot-path buffer is pooled). A `#[global_allocator]` must be declared in
+//! the final binary/test crate, so this module exports the allocator type
+//! and its counter; each consumer declares one line:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static GLOBAL: dex_bench::alloc::CountingAlloc = dex_bench::alloc::CountingAlloc;
+//!
+//! let opts = HealBenchOptions { alloc_bytes: Some(dex_bench::alloc::allocated_bytes), .. };
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Allocator wrapper counting every allocated byte (frees are not
+/// subtracted: the metric is allocation *pressure*, and a hot path that
+/// allocates-and-frees still pays the allocator round trip).
+pub struct CountingAlloc;
+
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATED.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Total bytes allocated process-wide since start. Only meaningful when
+/// [`CountingAlloc`] is installed as the global allocator; reads 0
+/// otherwise.
+pub fn allocated_bytes() -> u64 {
+    ALLOCATED.load(Ordering::Relaxed)
+}

@@ -1,0 +1,478 @@
+//! The single-network batch-heal benchmark behind `bench_batch` (and its
+//! CI smoke + determinism tests): the parallel wave engine
+//! (`dex_core::parheal`) against the sequential one-op-at-a-time path on
+//! pure batch churn, at n ∈ {20k, 200k, 1M}. Emits `BENCH_batch.json`.
+//!
+//! Unlike `bench_heal` (which fans *trials* out over threads), every
+//! number here comes from **one network**: the workload is an alternating
+//! stream of batch inserts and batch deletes of `B` nodes, applied either
+//! through `insert_batch_seq`/`delete_batch_seq` (the sequential oracle)
+//! or through `insert_batch`/`delete_batch` (the wave engine) at several
+//! planner thread counts.
+//!
+//! Reported per scale:
+//!
+//! - **Parity digests** — a fold of every step's charged (rounds,
+//!   messages, topology) plus a final Φ/graph checksum. The sequential
+//!   and every waved configuration must agree bit-for-bit (the binary
+//!   asserts it); `parity` in the JSON records the check.
+//! - **Throughput** — heal ops/s over the measured window for the
+//!   sequential path and each waved thread count, with the waved/seq
+//!   speedup. Timing fields are honest wall-clock measurements on the
+//!   current machine; on a single-core container the thread sweep shows
+//!   the engine's single-core gain only (see `sections` for the
+//!   parallelizable fraction).
+//! - **Per-section breakdown** — nanoseconds in the (parallelizable,
+//!   read-only) planning pass vs the sequential partition/commit/serial
+//!   segments, from [`dex::core::parheal::BatchHealStats`]; plus wave-size
+//!   histograms, serial-fallback and replan counts.
+//! - **Allocation** — bytes allocated per heal op (through
+//!   [`crate::alloc`]) for the sequential path and the single-threaded
+//!   waved path (steady state pools everything; waved planning at > 1
+//!   thread allocates per-worker scratch by design).
+//!
+//! Determinism contract: everything except the clearly-labelled timing
+//! fields is a pure function of `(smoke, seed)` — independent of
+//! `--threads`. In `--smoke` mode timing and allocation fields are
+//! omitted and the JSON is **byte-identical** across thread counts (CI
+//! runs `--threads 1/3/8` and diffs the files; the `batch_determinism`
+//! test does the same in-process).
+
+use dex::core::parheal::WAVE_HIST_BUCKETS;
+use dex::prelude::*;
+use dex::sim::rng::splitmix64;
+use dex::sim::HistoryMode;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Options for one benchmark run.
+pub struct BatchBenchOptions {
+    /// Toy scales, per-step invariant checking, no timing/alloc fields.
+    pub smoke: bool,
+    /// Planner thread count for the smoke parity pass (full mode sweeps a
+    /// fixed list instead; results are bit-identical for any value).
+    pub threads: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Reads the process-wide allocated-bytes counter, when the caller
+    /// installed [`crate::alloc::CountingAlloc`]. `None` ⇒ allocation
+    /// fields are reported as `null`.
+    pub alloc_bytes: Option<fn() -> u64>,
+}
+
+impl Default for BatchBenchOptions {
+    fn default() -> Self {
+        BatchBenchOptions {
+            smoke: false,
+            threads: 1,
+            seed: 0xba7c4,
+            alloc_bytes: None,
+        }
+    }
+}
+
+/// One benchmark scale.
+struct Scale {
+    n0: u64,
+    /// Ops per batch step.
+    batch: usize,
+    /// Total batch steps (first quarter is warmup).
+    steps: usize,
+    /// Waved planner thread counts to sweep (full mode).
+    sweep: &'static [usize],
+}
+
+/// Deterministic pure-batch churn driver: alternating batch inserts and
+/// batch deletes of `batch` nodes, fan-in-safe attach points, distinct
+/// victims. The schedule is a pure function of the seed — identical for
+/// the sequential and every waved configuration.
+struct BatchChurn {
+    dex: DexNetwork,
+    live: Vec<NodeId>,
+    next_id: u64,
+    state: u64,
+    joins: Vec<(NodeId, NodeId)>,
+    victims: Vec<NodeId>,
+    /// Waved entry points (`false` ⇒ the `*_seq` oracle).
+    waved: bool,
+    pub digest: u64,
+    pub ops: u64,
+}
+
+impl BatchChurn {
+    fn new(n0: u64, seed: u64, waved: bool, threads: usize) -> Self {
+        let mut dex =
+            DexNetwork::bootstrap(DexConfig::new(splitmix64(seed ^ 0xba7c4)).simplified(), n0);
+        dex.net.set_history_mode(HistoryMode::Off);
+        dex.set_heal_threads(threads);
+        let live = dex.node_ids();
+        let next_id = live.iter().map(|u| u.0).max().unwrap_or(0) + 1;
+        BatchChurn {
+            dex,
+            live,
+            next_id,
+            state: splitmix64(seed ^ 0xc0de),
+            joins: Vec::new(),
+            victims: Vec::new(),
+            waved,
+            digest: splitmix64(seed),
+            ops: 0,
+        }
+    }
+
+    #[inline]
+    fn rnd(&mut self) -> u64 {
+        self.state = splitmix64(self.state);
+        self.state
+    }
+
+    /// One batch step: even steps insert `batch` nodes, odd steps delete
+    /// `batch` nodes (n oscillates around n0).
+    fn step(&mut self, s: usize, batch: usize) {
+        let m = if s.is_multiple_of(2) {
+            self.joins.clear();
+            for _ in 0..batch {
+                // Fan-in-safe attach point (validation caps fan-in at 8).
+                let attach = loop {
+                    let r = self.rnd();
+                    let v = self.live[(r % self.live.len() as u64) as usize];
+                    if self.joins.iter().filter(|&&(_, a)| a == v).count() < 8 {
+                        break v;
+                    }
+                };
+                let u = NodeId(self.next_id);
+                self.next_id += 1;
+                self.joins.push((u, attach));
+            }
+            let joins = std::mem::take(&mut self.joins);
+            let m = if self.waved {
+                self.dex.insert_batch(&joins)
+            } else {
+                self.dex.insert_batch_seq(&joins)
+            };
+            self.live.extend(joins.iter().map(|&(u, _)| u));
+            self.joins = joins;
+            m
+        } else {
+            self.victims.clear();
+            for _ in 0..batch {
+                let r = self.rnd();
+                let idx = (r % self.live.len() as u64) as usize;
+                self.victims.push(self.live.swap_remove(idx));
+            }
+            let victims = std::mem::take(&mut self.victims);
+            let m = if self.waved {
+                self.dex.delete_batch(&victims)
+            } else {
+                self.dex.delete_batch_seq(&victims)
+            };
+            self.victims = victims;
+            m
+        };
+        self.ops += batch as u64;
+        // `waves` is deliberately NOT folded: it is the one observable
+        // allowed to differ between the waved and sequential paths.
+        self.digest = splitmix64(self.digest ^ m.rounds);
+        self.digest = splitmix64(self.digest ^ m.messages);
+        self.digest = splitmix64(self.digest ^ m.topology_changes);
+    }
+
+    /// Fold the final Φ + graph state into the digest: node/edge counts,
+    /// Φ counters, and every (vertex, owner) entry in canonical order.
+    fn seal(&mut self) {
+        let mut d = self.digest;
+        d = splitmix64(d ^ self.dex.n() as u64);
+        d = splitmix64(d ^ self.dex.graph().num_edges() as u64);
+        d = splitmix64(d ^ self.dex.cycle.p());
+        d = splitmix64(d ^ self.dex.map.spare_count() as u64);
+        d = splitmix64(d ^ self.dex.map.low_count() as u64);
+        d = splitmix64(d ^ self.dex.map.max_load());
+        for (z, u) in self.dex.map.entries() {
+            d = d.rotate_left(1) ^ (z.0 ^ splitmix64(u.0));
+        }
+        self.digest = splitmix64(d);
+    }
+}
+
+/// Outcome of one configuration's run over a scale.
+struct RunOutcome {
+    digest: u64,
+    measured_ops: u64,
+    wall_s: f64,
+    bytes: Option<u64>,
+    /// Wave-engine stats over the measured window (zeroed for the
+    /// sequential path).
+    stats: dex::core::parheal::BatchHealStats,
+}
+
+fn run_config(
+    sc: &Scale,
+    seed: u64,
+    waved: bool,
+    threads: usize,
+    opts: &BatchBenchOptions,
+) -> RunOutcome {
+    let warmup = sc.steps / 4;
+    let mut d = BatchChurn::new(sc.n0, seed, waved, threads);
+    for s in 0..warmup {
+        d.step(s, sc.batch);
+        if opts.smoke {
+            invariants::assert_ok(&d.dex);
+        }
+    }
+    d.dex.batch_stats.reset();
+    let ops0 = d.ops;
+    let b0 = opts.alloc_bytes.map(|f| f());
+    let t0 = Instant::now();
+    for s in warmup..sc.steps {
+        d.step(s, sc.batch);
+        if opts.smoke {
+            invariants::assert_ok(&d.dex);
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let bytes = opts.alloc_bytes.map(|f| f() - b0.unwrap());
+    invariants::check(&d.dex).expect("batch churn ended with an invariant violation");
+    d.seal();
+    RunOutcome {
+        digest: d.digest,
+        measured_ops: d.ops - ops0,
+        wall_s,
+        bytes,
+        stats: d.dex.batch_stats.clone(),
+    }
+}
+
+fn wave_hist_json(h: &[u64; WAVE_HIST_BUCKETS]) -> String {
+    let entries: Vec<String> = h.iter().map(|c| c.to_string()).collect();
+    format!("[{}]", entries.join(", "))
+}
+
+/// Run the benchmark and return the `BENCH_batch.json` contents.
+pub fn run_batch_bench(opts: &BatchBenchOptions) -> String {
+    let scales: Vec<Scale> = if opts.smoke {
+        vec![
+            Scale {
+                n0: 192,
+                batch: 16,
+                steps: 24,
+                sweep: &[],
+            },
+            Scale {
+                n0: 768,
+                batch: 24,
+                steps: 32,
+                sweep: &[],
+            },
+        ]
+    } else {
+        vec![
+            Scale {
+                n0: 20_000,
+                batch: 64,
+                steps: 2400,
+                sweep: &[1, 2, 4, 8],
+            },
+            Scale {
+                n0: 200_000,
+                batch: 64,
+                steps: 1600,
+                sweep: &[1, 2, 4, 8],
+            },
+            Scale {
+                n0: 1_000_000,
+                batch: 64,
+                steps: 640,
+                sweep: &[1, 8],
+            },
+        ]
+    };
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    if opts.smoke {
+        let _ = writeln!(
+            json,
+            "  \"config\": {{\"smoke\": true, \"seed\": {}}},",
+            opts.seed
+        );
+    } else {
+        // Machine context for reading the thread sweep: with fewer cores
+        // than swept threads the measured sweep is flat by construction
+        // (the engine clamps workers to the available parallelism) and
+        // the `projection` objects carry the multicore story.
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let _ = writeln!(
+            json,
+            "  \"config\": {{\"smoke\": false, \"seed\": {}, \"available_parallelism\": {cores}}},",
+            opts.seed
+        );
+    }
+    let _ = writeln!(json, "  \"scales\": [");
+    for (i, sc) in scales.iter().enumerate() {
+        let seed = splitmix64(opts.seed ^ sc.n0);
+        let measured_steps = sc.steps - sc.steps / 4;
+
+        // Sequential oracle.
+        let seq = run_config(sc, seed, false, 1, opts);
+        let seq_ops_s = seq.measured_ops as f64 / seq.wall_s;
+
+        // Waved sweep: smoke runs only the caller's thread count (results
+        // are bit-identical for any value — that's what CI diffs); full
+        // mode sweeps the scale's list.
+        let sweep: Vec<usize> = if opts.smoke {
+            vec![opts.threads.max(1)]
+        } else {
+            sc.sweep.to_vec()
+        };
+        let waved: Vec<(usize, RunOutcome)> = sweep
+            .iter()
+            .map(|&t| (t, run_config(sc, seed, true, t, opts)))
+            .collect();
+        for (t, w) in &waved {
+            assert_eq!(
+                w.digest, seq.digest,
+                "waved (threads={t}) and sequential state diverged at n0={}",
+                sc.n0
+            );
+        }
+
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(
+            json,
+            "      \"n0\": {}, \"batch\": {}, \"steps\": {}, \"measured_steps\": {measured_steps}, \"measured_ops\": {},",
+            sc.n0, sc.batch, sc.steps, seq.measured_ops
+        );
+        let _ = writeln!(
+            json,
+            "      \"digest\": \"{:#018x}\", \"parity\": true,",
+            seq.digest
+        );
+        let _ = writeln!(json, "      \"invariants\": \"ok\",");
+        // Sequential section.
+        let mut line = String::from("      \"seq\": {");
+        if !opts.smoke {
+            let _ = write!(
+                line,
+                "\"ops_per_sec\": {:.0}, \"wall_s\": {:.3}, \"bytes_per_op\": {}",
+                seq_ops_s,
+                seq.wall_s,
+                seq.bytes
+                    .map(|b| (b / seq.measured_ops.max(1)).to_string())
+                    .unwrap_or_else(|| "null".into())
+            );
+        } else {
+            let _ = write!(line, "\"measured\": true");
+        }
+        line.push_str("},");
+        let _ = writeln!(json, "{line}");
+        if !opts.smoke {
+            println!(
+                "n0={:<9} seq   {:>10.0} ops/s  ({} ops in {:.3}s)",
+                sc.n0, seq_ops_s, seq.measured_ops, seq.wall_s
+            );
+        }
+        // Waved sections.
+        let _ = writeln!(json, "      \"waved\": [");
+        for (j, (t, w)) in waved.iter().enumerate() {
+            let s = &w.stats;
+            let _ = writeln!(json, "        {{");
+            if opts.smoke {
+                // The thread count must not appear in smoke output: the
+                // whole point of the CI diff is that nothing else depends
+                // on it.
+                let _ = writeln!(json, "          \"threads\": \"any\",");
+            } else {
+                let _ = writeln!(json, "          \"threads\": {t},");
+            }
+            if !opts.smoke {
+                let ops_s = w.measured_ops as f64 / w.wall_s;
+                let _ = writeln!(
+                    json,
+                    "          \"ops_per_sec\": {:.0}, \"wall_s\": {:.3}, \"speedup_vs_seq\": {:.3}, \"bytes_per_op\": {},",
+                    ops_s,
+                    w.wall_s,
+                    ops_s / seq_ops_s,
+                    w.bytes
+                        .map(|b| (b / w.measured_ops.max(1)).to_string())
+                        .unwrap_or_else(|| "null".into())
+                );
+                let sect_total = (s.plan_ns + s.partition_ns + s.commit_ns + s.serial_ns).max(1);
+                let _ = writeln!(
+                    json,
+                    "          \"sections\": {{\"plan_ns\": {}, \"partition_ns\": {}, \"commit_ns\": {}, \"serial_ns\": {}, \"plan_fraction\": {:.3}}},",
+                    s.plan_ns,
+                    s.partition_ns,
+                    s.commit_ns,
+                    s.serial_ns,
+                    s.plan_ns as f64 / sect_total as f64
+                );
+                println!(
+                    "n0={:<9} waved {:>10.0} ops/s  (threads {t}, {:.2}x vs seq; plan {:.0}% of engine time; waves {} serial {} replans {})",
+                    sc.n0,
+                    ops_s,
+                    ops_s / seq_ops_s,
+                    100.0 * s.plan_ns as f64 / sect_total as f64,
+                    s.waves,
+                    s.serial_ops,
+                    s.replans
+                );
+            }
+            let _ = writeln!(
+                json,
+                "          \"waves\": {}, \"waved_ops\": {}, \"serial_ops\": {}, \"replans\": {}, \"max_wave\": {},",
+                s.waves, s.waved_ops, s.serial_ops, s.replans, s.max_wave
+            );
+            let _ = writeln!(
+                json,
+                "          \"wave_hist_log2\": {}",
+                wave_hist_json(&s.wave_hist)
+            );
+            let _ = writeln!(
+                json,
+                "        }}{}",
+                if j + 1 < waved.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(json, "      ]");
+        if !opts.smoke {
+            // Amdahl projection from the measured 1-thread sections: the
+            // planning pass is read-only and chunk-deterministic, so it
+            // divides across workers; partition/commit/serial stay
+            // sequential by design, and driver overhead (wall minus
+            // engine sections) is unchanged. This is a PROJECTION, not a
+            // measurement — the container this runs in is pinned to
+            // `available_parallelism` cores and the measured sweep above
+            // is the ground truth for this machine.
+            if let Some((_, w1)) = waved.iter().find(|(t, _)| *t == 1) {
+                let s = &w1.stats;
+                let proj_threads = 8.0f64;
+                let saved_s = s.plan_ns as f64 * (1.0 - 1.0 / proj_threads) / 1e9;
+                let proj_wall = (w1.wall_s - saved_s).max(1e-9);
+                let proj_ops_s = w1.measured_ops as f64 / proj_wall;
+                let _ = writeln!(
+                    json,
+                    "      ,\"projection\": {{\"kind\": \"amdahl_from_measured_sections\", \"threads\": 8, \"ops_per_sec\": {:.0}, \"speedup_vs_seq\": {:.3}, \"assumes\": \"plan phase divides by threads; partition/commit/serial and driver overhead unchanged; zero fan-out cost\"}}",
+                    proj_ops_s,
+                    proj_ops_s / seq_ops_s
+                );
+                println!(
+                    "n0={:<9} proj  {:>10.0} ops/s  (8-thread Amdahl projection from 1-thread sections, {:.2}x vs seq)",
+                    sc.n0,
+                    proj_ops_s,
+                    proj_ops_s / seq_ops_s
+                );
+            }
+        }
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < scales.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    json
+}

@@ -1,0 +1,46 @@
+//! Single-network batch-heal benchmark: the parallel wave engine vs the
+//! sequential path, at n ∈ {20k, 200k, 1M}. Emits `BENCH_batch.json`.
+//! See `dex_bench::batch` for what is measured and the determinism
+//! contract.
+//!
+//! ```sh
+//! cargo run --release -p dex-bench --bin bench_batch            # full, up to n≈1M
+//! cargo run --release -p dex-bench --bin bench_batch -- --smoke # CI-sized
+//! cargo run --release -p dex-bench --bin bench_batch -- --smoke --threads 8
+//! ```
+//!
+//! `--smoke` output is byte-identical for any `--threads` value — CI runs
+//! 1/3/8 and diffs the files.
+
+use dex_bench::alloc::{allocated_bytes, CountingAlloc};
+use dex_bench::batch::{run_batch_bench, BatchBenchOptions};
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn main() {
+    let mut opts = BatchBenchOptions {
+        alloc_bytes: Some(allocated_bytes),
+        ..BatchBenchOptions::default()
+    };
+    let mut out = String::from("BENCH_batch.json");
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--threads" => {
+                opts.threads = it.next().and_then(|v| v.parse().ok()).expect("--threads N");
+            }
+            "--seed" => {
+                opts.seed = it.next().and_then(|v| v.parse().ok()).expect("--seed S");
+            }
+            "--out" => {
+                out = it.next().expect("--out FILE");
+            }
+            other => panic!("unknown flag {other:?} (try --smoke / --threads / --seed / --out)"),
+        }
+    }
+    let json = run_batch_bench(&opts);
+    std::fs::write(&out, &json).expect("write BENCH_batch.json");
+    println!("wrote {out}");
+}

@@ -18,37 +18,11 @@
 //! cargo run --release -p dex-bench --bin bench_heal -- --threads 1
 //! ```
 
+use dex_bench::alloc::{allocated_bytes, CountingAlloc};
 use dex_bench::heal::{run_heal_bench, HealBenchOptions};
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Allocator wrapper counting every allocated byte (frees are not
-/// subtracted: the metric is allocation *pressure*, and a hot path that
-/// allocates-and-frees still pays the allocator round trip).
-struct CountingAlloc;
-
-static ALLOCATED: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
-        unsafe { System.alloc(layout) }
-    }
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATED.fetch_add(new_size as u64, Ordering::Relaxed);
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-}
 
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
-
-fn allocated_bytes() -> u64 {
-    ALLOCATED.load(Ordering::Relaxed)
-}
 
 fn main() {
     let mut opts = HealBenchOptions {

@@ -131,6 +131,8 @@ fn main() {
         seed: args.seed,
         lambda_every: if args.smoke { 16 } else { 64 },
         threads: args.threads,
+        // Trials already saturate the fan-out; plan batches inline.
+        heal_threads: 1,
         check_invariants: args.smoke, // free correctness coverage at toy scale
         // Aggregates come from the compact per-step logs; full traces and
         // StepMetrics records are dead weight at benchmark scale.

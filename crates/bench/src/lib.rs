@@ -9,6 +9,8 @@ use dex::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+pub mod alloc;
+pub mod batch;
 pub mod heal;
 
 /// A churn schedule that can be applied identically to different overlays:

@@ -1,0 +1,35 @@
+//! `bench_batch --smoke` must be byte-identical across planner thread
+//! counts: the wave engine's results are bit-identical for any `threads`
+//! value and nothing in the smoke JSON depends on timing or allocation,
+//! so `--threads 1`, `3`, and `8` must produce the same file to the byte
+//! (CI also diffs the actual binary outputs).
+
+use dex_bench::batch::{run_batch_bench, BatchBenchOptions};
+
+fn smoke_json(threads: usize) -> String {
+    run_batch_bench(&BatchBenchOptions {
+        smoke: true,
+        threads,
+        seed: 0xba7c_4d37,
+        alloc_bytes: None,
+    })
+}
+
+#[test]
+fn smoke_output_is_byte_identical_across_thread_counts() {
+    let one = smoke_json(1);
+    assert!(one.contains("\"parity\": true"), "parity check missing");
+    assert!(one.contains("\"waved\""), "waved section missing");
+    assert!(one.contains("\"wave_hist_log2\""), "wave histogram missing");
+    assert!(
+        !one.contains("ops_per_sec") && !one.contains("bytes_per_op"),
+        "smoke output must not contain timing/alloc fields"
+    );
+    for threads in [3, 8] {
+        let other = smoke_json(threads);
+        assert_eq!(
+            one, other,
+            "bench_batch --smoke output differs between --threads 1 and --threads {threads}"
+        );
+    }
+}

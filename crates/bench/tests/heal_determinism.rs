@@ -3,37 +3,16 @@
 //! the smoke JSON depends on timing, so `--threads 1`, `3`, and `8` must
 //! produce the same file to the byte.
 //!
-//! The test installs the same counting allocator the `bench_heal` binary
-//! uses, so the allocation fields are exercised too (they are measured in
-//! a single-threaded pass and must not vary with the fan-out width).
+//! The test installs the same counting allocator (`dex_bench::alloc`) the
+//! `bench_heal` binary uses, so the allocation fields are exercised too
+//! (they are measured in a single-threaded pass and must not vary with
+//! the fan-out width).
 
+use dex_bench::alloc::{allocated_bytes, CountingAlloc};
 use dex_bench::heal::{run_heal_bench, HealBenchOptions};
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
-
-struct CountingAlloc;
-static ALLOCATED: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
-        unsafe { System.alloc(layout) }
-    }
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATED.fetch_add(new_size as u64, Ordering::Relaxed);
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-}
 
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
-
-fn allocated_bytes() -> u64 {
-    ALLOCATED.load(Ordering::Relaxed)
-}
 
 fn smoke_json(threads: usize) -> String {
     run_heal_bench(&HealBenchOptions {

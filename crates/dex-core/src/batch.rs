@@ -8,12 +8,21 @@
 //! Recovery may lean on the simplified type-2 procedures every O(1) steps,
 //! for O(n log² n) messages and O(log³ n) rounds per batch.
 //!
-//! Implementation: the batch shares one step scope; each newcomer/victim
-//! is healed with the type-1 machinery, falling back to the one-shot
-//! type-2 procedures when spare capacity is exhausted mid-batch.
+//! Implementation: the batch shares one step scope. Batches of at least
+//! [`crate::parheal::PAR_BATCH_MIN`] ops are applied by the deterministic
+//! **parallel wave engine** ([`crate::parheal`]): ops are speculatively
+//! planned, partitioned into conflict-free waves over their touch sets,
+//! and committed in canonical order — bit-identical to sequential
+//! application for any thread count. Smaller batches, and any op whose
+//! heal leaves the type-1 fast path (walk miss, type-2 trigger), run
+//! through the sequential per-op machinery below, which also survives as
+//! [`DexNetwork::insert_batch_seq`] / [`DexNetwork::delete_batch_seq`] —
+//! the differential oracle (`tests/batch_par.rs`) and the `bench_batch`
+//! baseline.
 
 use crate::config::RecoveryMode;
 use crate::dex::DexNetwork;
+use crate::parheal::{self, BatchOp, PAR_BATCH_MIN};
 use dex_graph::ids::NodeId;
 use dex_sim::{RecoveryKind, StepKind, StepMetrics};
 
@@ -23,27 +32,70 @@ pub const MAX_ATTACH_FAN_IN: usize = 8;
 
 impl DexNetwork {
     /// Insert a batch of `(new_node, attach_to)` pairs in one adversarial
-    /// step. Requires simplified mode (the staggered machinery assumes one
-    /// event per step, as in the paper).
+    /// step, healed by the parallel wave engine (sequentially below
+    /// [`PAR_BATCH_MIN`] ops). Requires simplified mode (the staggered
+    /// machinery assumes one event per step, as in the paper).
     ///
     /// # Panics
     /// Panics on duplicate ids, missing attach points, or more than O(1)
     /// newcomers per attach point (the paper's congestion condition).
     pub fn insert_batch(&mut self, joins: &[(NodeId, NodeId)]) -> StepMetrics {
+        self.validate_insert_batch(joins);
+        self.step_no += 1;
+        self.net.begin_step();
+        let used_type2 = if joins.len() >= PAR_BATCH_MIN {
+            let mut ops = std::mem::take(&mut self.heal.par.ops);
+            ops.clear();
+            ops.extend(joins.iter().map(|&(u, v)| BatchOp::Insert { u, v }));
+            self.heal.par.ops = ops;
+            parheal::run_batch(self, self.heal_threads)
+        } else {
+            self.apply_insert_batch_seq(joins)
+        };
+        self.net.end_step(
+            StepKind::BatchInsert(joins.len() as u32),
+            if used_type2 {
+                RecoveryKind::InflateSimple
+            } else {
+                RecoveryKind::Type1
+            },
+        )
+    }
+
+    /// [`DexNetwork::insert_batch`] through the sequential one-op-at-a-time
+    /// path, regardless of batch size. Kept as the differential oracle for
+    /// the wave engine: both paths must produce bit-identical network, Φ,
+    /// and metric state.
+    pub fn insert_batch_seq(&mut self, joins: &[(NodeId, NodeId)]) -> StepMetrics {
+        self.validate_insert_batch(joins);
+        self.step_no += 1;
+        self.net.begin_step();
+        let used_type2 = self.apply_insert_batch_seq(joins);
+        self.net.end_step(
+            StepKind::BatchInsert(joins.len() as u32),
+            if used_type2 {
+                RecoveryKind::InflateSimple
+            } else {
+                RecoveryKind::Type1
+            },
+        )
+    }
+
+    /// Validate the whole batch before touching any state: fan-in per
+    /// attach point (the paper's O(1) anti-congestion requirement,
+    /// counted in one pass), newcomer uniqueness, no collision with a
+    /// live node, and attach-point existence — an attach point may be a
+    /// live node or an *earlier newcomer of the same batch* (healing
+    /// runs pair-by-pair, so chained joins are well-defined). A
+    /// mid-batch panic after partial mutation would leave the fabric
+    /// unhealable.
+    fn validate_insert_batch(&mut self, joins: &[(NodeId, NodeId)]) {
         assert_eq!(
             self.cfg.mode,
             RecoveryMode::Simplified,
             "batch mode requires simplified type-2 (Sect. 5)"
         );
         assert!(!joins.is_empty());
-        // Validate the whole batch before touching any state: fan-in per
-        // attach point (the paper's O(1) anti-congestion requirement,
-        // counted in one pass), newcomer uniqueness, no collision with a
-        // live node, and attach-point existence — an attach point may be a
-        // live node or an *earlier newcomer of the same batch* (healing
-        // runs pair-by-pair, so chained joins are well-defined). A
-        // mid-batch panic after partial mutation would leave the fabric
-        // unhealable.
         self.heal.fan_in.clear();
         self.heal.seen.clear();
         for &(u, v) in joins {
@@ -64,35 +116,72 @@ impl DexNetwork {
                 "newcomer {u} collides with an existing node"
             );
         }
-        self.step_no += 1;
-        self.net.begin_step();
+    }
+
+    /// Sequential application body shared by the oracle path and small
+    /// batches.
+    fn apply_insert_batch_seq(&mut self, joins: &[(NodeId, NodeId)]) -> bool {
         let mut used_type2 = false;
         for &(u, v) in joins {
             self.net.adversary_add_node(u);
             self.net.adversary_add_edge(u, v);
             used_type2 |= self.heal_one_insert(u, v);
         }
+        used_type2
+    }
+
+    /// Delete a batch of victims in one adversarial step, healed by the
+    /// parallel wave engine (sequentially below [`PAR_BATCH_MIN`] ops).
+    /// The remainder graph must stay connected (checked after healing,
+    /// which restores the contraction fabric and hence connectivity).
+    pub fn delete_batch(&mut self, victims: &[NodeId]) -> StepMetrics {
+        self.validate_delete_batch(victims);
+        self.step_no += 1;
+        self.net.begin_step();
+        let used_type2 = if victims.len() >= PAR_BATCH_MIN {
+            let mut ops = std::mem::take(&mut self.heal.par.ops);
+            ops.clear();
+            ops.extend(victims.iter().map(|&victim| BatchOp::Delete { victim }));
+            self.heal.par.ops = ops;
+            parheal::run_batch(self, self.heal_threads)
+        } else {
+            self.apply_delete_batch_seq(victims)
+        };
         self.net.end_step(
-            StepKind::BatchInsert(joins.len() as u32),
+            StepKind::BatchDelete(victims.len() as u32),
             if used_type2 {
-                RecoveryKind::InflateSimple
+                RecoveryKind::DeflateSimple
             } else {
                 RecoveryKind::Type1
             },
         )
     }
 
-    /// Delete a batch of victims in one adversarial step. The remainder
-    /// graph must stay connected (checked after healing, which restores
-    /// the contraction fabric and hence connectivity).
-    pub fn delete_batch(&mut self, victims: &[NodeId]) -> StepMetrics {
+    /// [`DexNetwork::delete_batch`] through the sequential path — the
+    /// differential oracle (see [`DexNetwork::insert_batch_seq`]).
+    pub fn delete_batch_seq(&mut self, victims: &[NodeId]) -> StepMetrics {
+        self.validate_delete_batch(victims);
+        self.step_no += 1;
+        self.net.begin_step();
+        let used_type2 = self.apply_delete_batch_seq(victims);
+        self.net.end_step(
+            StepKind::BatchDelete(victims.len() as u32),
+            if used_type2 {
+                RecoveryKind::DeflateSimple
+            } else {
+                RecoveryKind::Type1
+            },
+        )
+    }
+
+    /// Validate before mutating: victims must be live and distinct.
+    fn validate_delete_batch(&mut self, victims: &[NodeId]) {
         assert_eq!(self.cfg.mode, RecoveryMode::Simplified);
         assert!(!victims.is_empty());
         assert!(
             victims.len() < self.n() - 1,
             "batch would empty the network"
         );
-        // Validate before mutating: victims must be live and distinct.
         self.heal.seen.clear();
         for &victim in victims {
             assert!(self.net.graph().has_node(victim), "victim {victim} missing");
@@ -101,8 +190,11 @@ impl DexNetwork {
                 "duplicate victim {victim} in batch"
             );
         }
-        self.step_no += 1;
-        self.net.begin_step();
+    }
+
+    /// Sequential application body shared by the oracle path and small
+    /// batches.
+    fn apply_delete_batch_seq(&mut self, victims: &[NodeId]) -> bool {
         let mut used_type2 = false;
         for &victim in victims {
             // Every victim must keep one surviving neighbor (paper's
@@ -124,19 +216,12 @@ impl DexNetwork {
             self.net.adversary_remove_node(victim);
             used_type2 |= self.heal_one_delete(victim, rescuer);
         }
-        self.net.end_step(
-            StepKind::BatchDelete(victims.len() as u32),
-            if used_type2 {
-                RecoveryKind::DeflateSimple
-            } else {
-                RecoveryKind::Type1
-            },
-        )
+        used_type2
     }
 
     /// Type-1 insert healing inside an open step; returns whether type-2
     /// was needed.
-    fn heal_one_insert(&mut self, u: NodeId, v: NodeId) -> bool {
+    pub(crate) fn heal_one_insert(&mut self, u: NodeId, v: NodeId) -> bool {
         use dex_sim::rng::Purpose;
         use dex_sim::tokens::random_walk_search;
         let walk_len = self.cfg.walk_len(self.cycle.p());
@@ -181,7 +266,7 @@ impl DexNetwork {
     /// Type-1 delete healing inside an open step; returns whether type-2
     /// was needed. Detaches the pooled vertex buffer from `self` for the
     /// duration (see [`crate::scratch::HealScratch`]).
-    fn heal_one_delete(&mut self, victim: NodeId, rescuer: NodeId) -> bool {
+    pub(crate) fn heal_one_delete(&mut self, victim: NodeId, rescuer: NodeId) -> bool {
         let mut zs = std::mem::take(&mut self.heal.zs);
         zs.clear();
         zs.extend_from_slice(self.map.sim(victim));

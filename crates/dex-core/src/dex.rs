@@ -58,6 +58,13 @@ pub struct DexNetwork {
     /// instances, routing paths) — with these, steady-state type-1
     /// recovery allocates nothing per operation.
     pub(crate) heal: HealScratch,
+    /// Worker threads for the parallel batch-heal planner (1 = plan
+    /// inline). Results are bit-identical for every value — see
+    /// [`crate::parheal`].
+    pub(crate) heal_threads: usize,
+    /// Waved batch-heal statistics (waves, serial fallbacks, wave-size
+    /// histogram), accumulated across batch steps.
+    pub batch_stats: crate::parheal::BatchHealStats,
 }
 
 impl DexNetwork {
@@ -94,7 +101,22 @@ impl DexNetwork {
             step_no: 0,
             flood_scratch: FloodScratch::new(),
             heal: HealScratch::new(),
+            heal_threads: 1,
+            batch_stats: crate::parheal::BatchHealStats::default(),
         }
+    }
+
+    /// Set the worker-thread count for the parallel batch-heal planner.
+    /// Purely a throughput knob: batch results are bit-identical for any
+    /// value (the determinism contract `tests/batch_par.rs` and the
+    /// `bench_batch --smoke` CI job enforce).
+    pub fn set_heal_threads(&mut self, threads: usize) {
+        self.heal_threads = threads.max(1);
+    }
+
+    /// Current batch-heal planner thread count.
+    pub fn heal_threads(&self) -> usize {
+        self.heal_threads
     }
 
     /// Current network size.

@@ -81,13 +81,15 @@ impl DexNetwork {
         self.net.end_step(StepKind::Insert, RecoveryKind::Type1)
     }
 
-    /// Look up `key`, initiated by node `from`. The reply routes back, so
-    /// the cost is twice the one-way routing cost.
+    /// Look up `key`, initiated by node `from`. The reply routes back along
+    /// the same path, so the cost is twice the one-way routing cost (the
+    /// path is resolved once and charged twice).
     pub fn dht_lookup(&mut self, from: NodeId, key: Key) -> (Option<Value>, StepMetrics) {
         self.net.begin_step();
         self.migrate_if_rehashed();
-        self.route_dht(from, key);
-        self.route_dht(from, key); // reply path (same length)
+        let hops = self.route_dht(from, key);
+        self.net.charge_rounds(hops); // reply path (same length)
+        self.net.charge_messages(hops);
         let v = self.dht.entries.get(&key).copied();
         let m = self.net.end_step(StepKind::Insert, RecoveryKind::Type1);
         (v, m)
@@ -96,8 +98,17 @@ impl DexNetwork {
     /// Route one message from `from` to the node owning `h(key)`: the
     /// initiator computes a shortest path in the virtual graph from one of
     /// its own vertices and forwards hop by hop; hops between vertices
-    /// simulated by the same node are free local computation.
-    fn route_dht(&mut self, from: NodeId, key: Key) {
+    /// simulated by the same node are free local computation. Returns the
+    /// physical hop count (also charged as rounds and messages).
+    ///
+    /// Hot path: the virtual path comes from the pooled bidirectional BFS
+    /// ([`dex_graph::pcycle::PCycle::shortest_path_with`], O(√p) visited
+    /// vertices instead of the old full-BFS O(p)), each path vertex
+    /// resolves through the slot Φ's dense owner records
+    /// ([`crate::VirtualMapping::owner_of`], one array load), and every
+    /// buffer lives in the pooled [`crate::routing::RouteScratch`] — zero
+    /// allocation per operation once warm.
+    fn route_dht(&mut self, from: NodeId, key: Key) -> u64 {
         let target = hash_to_vertex(key, self.cycle.p());
         let start = *self
             .map
@@ -105,20 +116,25 @@ impl DexNetwork {
             .iter()
             .min()
             .expect("initiator simulates a vertex");
-        let vpath = self.cycle.shortest_path(start, target);
+        let route = &mut self.heal.route;
+        self.cycle
+            .shortest_path_with(start, target, &mut route.bfs, &mut route.vpath);
         let mut hops = 0u64;
-        for w in vpath.windows(2) {
-            let (a, b) = (self.map.owner_of(w[0]), self.map.owner_of(w[1]));
-            if a != b {
+        let mut prev = self.map.owner_of(route.vpath[0]);
+        for &z in &route.vpath[1..] {
+            let cur = self.map.owner_of(z);
+            if cur != prev {
                 debug_assert!(
-                    self.net.graph().contains_edge(a, b),
-                    "virtual path step not physical: {a} {b}"
+                    self.net.graph().contains_edge(prev, cur),
+                    "virtual path step not physical: {prev} {cur}"
                 );
                 hops += 1;
             }
+            prev = cur;
         }
         self.net.charge_rounds(hops);
         self.net.charge_messages(hops);
+        hops
     }
 
     /// After a type-2 recovery the hash function changed: rehash all data,

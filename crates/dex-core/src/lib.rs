@@ -39,6 +39,7 @@ pub mod dht;
 pub mod fabric;
 pub mod invariants;
 pub mod mapping;
+pub mod parheal;
 pub mod routing;
 pub mod scratch;
 pub mod staggered;

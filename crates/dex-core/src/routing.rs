@@ -25,15 +25,21 @@ use dex_sim::Network;
 /// Largest p for which one-shot type-2 executes real permutation routing.
 pub const EXACT_ROUTING_MAX_P: u64 = 2500;
 
-/// Reusable path-resolution buffers for [`route_pairs_with`]: all token
-/// paths live in one flat node buffer addressed by `(start, len)` ranges,
-/// so resolving a permutation allocates nothing per pair.
+/// Reusable path-resolution buffers for [`route_pairs_with`] and the DHT
+/// hop counter: all token paths live in one flat node buffer addressed by
+/// `(start, len)` ranges, so resolving a permutation allocates nothing per
+/// pair, and single-message routing (the DHT fast path) reuses the pooled
+/// bidirectional-BFS scratch plus one vertex-path buffer.
 #[derive(Default)]
 pub struct RouteScratch {
     /// Flattened physical paths, one range per token.
     flat: Vec<NodeId>,
     /// `(start, len)` of each token's path within `flat`.
     ranges: Vec<(usize, usize)>,
+    /// Bidirectional-BFS scratch for per-message virtual shortest paths.
+    pub(crate) bfs: dex_graph::pcycle::PathScratch,
+    /// Staging buffer for one virtual path (the DHT route).
+    pub(crate) vpath: Vec<VertexId>,
 }
 
 impl RouteScratch {

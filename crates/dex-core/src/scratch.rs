@@ -39,6 +39,9 @@ pub struct HealScratch {
     pub fan_in: FxHashMap<NodeId, usize>,
     /// Batch-validation set: newcomer / victim uniqueness.
     pub seen: FxHashSet<NodeId>,
+    /// Parallel batch-heal engine state (plans, conflict map, op staging)
+    /// — see [`crate::parheal`].
+    pub(crate) par: crate::parheal::ParScratch,
 }
 
 impl HealScratch {

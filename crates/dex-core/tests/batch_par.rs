@@ -1,0 +1,378 @@
+//! Differential tests for the parallel wave engine (`dex_core::parheal`):
+//! waved batch application must leave the network **bit-identical** to
+//! sequential application — same graph arena (adjacency lists in the same
+//! order, same slot allocation), same Φ (owners, `Sim` slice order,
+//! Spare/Low counters), same metered costs — and must itself be
+//! bit-identical for any planner thread count.
+//!
+//! Long random batch scripts (mixed batch inserts/deletes of waveable and
+//! sub-threshold sizes, plus interleaved single ops) drive two networks
+//! from the same bootstrap: one through `insert_batch`/`delete_batch`
+//! (the wave engine) and one through the `*_seq` oracle entry points.
+//! The only observable allowed to differ is `StepMetrics::waves` /
+//! `StepTotals::heal_waves` — pure observability counters the sequential
+//! path doesn't track.
+
+use dex_core::{invariants, DexConfig, DexNetwork};
+use dex_graph::ids::NodeId;
+use dex_sim::rng::splitmix64;
+use dex_sim::StepMetrics;
+use proptest::prelude::*;
+
+/// One scripted adversarial step over the live-node universe.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// Insert a batch of `k` fresh nodes on random live attach points
+    /// (`k >= 8` engages the wave engine; smaller batches take the
+    /// sequential small-batch path inside the same entry point).
+    Inserts(u8),
+    /// Insert a batch where later newcomers attach to *earlier newcomers
+    /// of the same batch* (chained joins: plans block, then commit).
+    ChainedInserts(u8),
+    /// Insert a batch where every newcomer shares one attach point
+    /// (a fully-conflicting clique: degenerates to sequential waves).
+    CliqueInserts(u8),
+    /// Delete a batch of `k` distinct random victims.
+    Deletes(u8),
+    /// Delete a batch of `k` distinct victims drawn from one node's
+    /// neighborhood (overlapping touch sets spanning waves).
+    NeighborhoodDeletes(u8),
+    /// One single insert (sequential path; perturbs state between
+    /// batches).
+    SingleInsert,
+    /// One single delete.
+    SingleDelete,
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    (0u8..7, 1u8..25).prop_map(|(kind, k)| match kind {
+        0 => Step::Inserts(k),
+        1 => Step::ChainedInserts(k.max(8)),
+        2 => Step::CliqueInserts(k.max(8)),
+        3 => Step::Deletes(k),
+        4 => Step::NeighborhoodDeletes(k.max(8)),
+        5 => Step::SingleInsert,
+        _ => Step::SingleDelete,
+    })
+}
+
+/// Deterministic script driver: mirrors the bench churn driver's
+/// bookkeeping (live list, fresh ids) so both networks see the exact same
+/// adversarial requests.
+struct Script {
+    live: Vec<NodeId>,
+    next_id: u64,
+    state: u64,
+}
+
+impl Script {
+    fn new(dex: &DexNetwork, seed: u64) -> Self {
+        let live = dex.node_ids();
+        let next_id = live.iter().map(|u| u.0).max().unwrap_or(0) + 1;
+        Script {
+            live,
+            next_id,
+            state: splitmix64(seed),
+        }
+    }
+
+    fn rnd(&mut self) -> u64 {
+        self.state = splitmix64(self.state);
+        self.state
+    }
+
+    fn pick_live(&mut self) -> NodeId {
+        let i = (self.rnd() % self.live.len() as u64) as usize;
+        self.live[i]
+    }
+
+    fn fresh(&mut self) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Pick a live attach point that still has spare fan-in budget in the
+    /// batch under construction (validation caps fan-in at 8).
+    fn pick_attach(&mut self, joins: &[(NodeId, NodeId)]) -> NodeId {
+        loop {
+            let v = self.pick_live();
+            if joins.iter().filter(|&&(_, a)| a == v).count() < 8 {
+                return v;
+            }
+        }
+    }
+
+    /// Materialize `step` into concrete joins/victims against the current
+    /// live set. Returns `None` when the step is not applicable (network
+    /// too small to delete from safely).
+    fn joins_for(&mut self, step: Step) -> Option<Vec<(NodeId, NodeId)>> {
+        match step {
+            Step::Inserts(k) => {
+                let mut joins: Vec<(NodeId, NodeId)> = Vec::with_capacity(k as usize);
+                for _ in 0..k {
+                    let attach = self.pick_attach(&joins);
+                    let u = self.fresh();
+                    joins.push((u, attach));
+                }
+                Some(joins)
+            }
+            Step::ChainedInserts(k) => {
+                // First newcomer attaches to a live node, each subsequent
+                // one to the previous newcomer.
+                let mut joins = Vec::with_capacity(k as usize);
+                let mut attach = self.pick_live();
+                for _ in 0..k {
+                    let u = self.fresh();
+                    joins.push((u, attach));
+                    attach = u;
+                }
+                Some(joins)
+            }
+            Step::CliqueInserts(k) => {
+                // Fan-in is capped at 8 by validation; chunk the clique
+                // into groups of 8 sharing one attach point each, with all
+                // groups inside one batch (heavy conflicts either way).
+                let mut joins: Vec<(NodeId, NodeId)> = Vec::with_capacity(k as usize);
+                let mut attach = self.pick_attach(&joins);
+                for i in 0..k {
+                    if i % 8 == 0 && i > 0 {
+                        attach = self.pick_attach(&joins);
+                    }
+                    joins.push((self.fresh(), attach));
+                }
+                Some(joins)
+            }
+            _ => None,
+        }
+    }
+
+    fn victims_for(&mut self, step: Step, dex: &DexNetwork) -> Option<Vec<NodeId>> {
+        let k = match step {
+            Step::Deletes(k) => k as usize,
+            Step::NeighborhoodDeletes(k) => k as usize,
+            _ => return None,
+        };
+        // Keep a healthy floor so victims always retain a live neighbor
+        // and the graph stays well above the "would empty the network"
+        // panic.
+        if self.live.len() < 2 * k + 48 {
+            return None;
+        }
+        let mut victims: Vec<NodeId> = Vec::with_capacity(k);
+        if matches!(step, Step::NeighborhoodDeletes(_)) {
+            // Victims clustered around one center: its neighbors, their
+            // neighbors, ... (deduped, center excluded so the batch never
+            // orphans a newcomer mid-script).
+            let center = self.pick_live();
+            let mut frontier = vec![center];
+            'fill: while victims.len() < k {
+                let Some(c) = frontier.pop() else { break };
+                for w in dex.graph().neighbors(c) {
+                    if w != center && !victims.contains(&w) {
+                        victims.push(w);
+                        frontier.push(w);
+                        if victims.len() == k {
+                            break 'fill;
+                        }
+                    }
+                }
+            }
+            if victims.is_empty() {
+                return None;
+            }
+        } else {
+            while victims.len() < k {
+                let v = self.pick_live();
+                if !victims.contains(&v) {
+                    victims.push(v);
+                }
+            }
+        }
+        self.live.retain(|u| !victims.contains(u));
+        Some(victims)
+    }
+}
+
+/// Everything observable must match, except the wave counters.
+fn assert_metrics_match(a: &StepMetrics, b: &StepMetrics) {
+    assert_eq!(a.kind, b.kind);
+    assert_eq!(a.recovery, b.recovery, "recovery kind diverged");
+    assert_eq!(a.rounds, b.rounds, "charged rounds diverged");
+    assert_eq!(a.messages, b.messages, "charged messages diverged");
+    assert_eq!(
+        a.topology_changes, b.topology_changes,
+        "topology changes diverged"
+    );
+    assert_eq!(a.n_after, b.n_after);
+}
+
+/// Deep bit-level comparison of two networks: graph arena (including
+/// adjacency *order* — slot programs replicate push/swap_remove
+/// semantics), Φ, and cycle state.
+fn assert_networks_identical(a: &DexNetwork, b: &DexNetwork) {
+    assert_eq!(a.n(), b.n());
+    assert_eq!(a.cycle.p(), b.cycle.p());
+    assert_eq!(a.graph().num_edges(), b.graph().num_edges());
+    let nodes_a: Vec<NodeId> = a.graph().nodes().collect();
+    let nodes_b: Vec<NodeId> = b.graph().nodes().collect();
+    assert_eq!(nodes_a, nodes_b, "slot allocation order diverged");
+    for &u in &nodes_a {
+        let na: Vec<NodeId> = a.graph().neighbors(u).iter().collect();
+        let nb: Vec<NodeId> = b.graph().neighbors(u).iter().collect();
+        assert_eq!(na, nb, "adjacency of {u} diverged (order included)");
+        assert_eq!(a.map.sim(u), b.map.sim(u), "Sim({u}) diverged");
+        assert_eq!(a.map.load(u), b.map.load(u));
+    }
+    assert_eq!(a.map.spare_count(), b.map.spare_count());
+    assert_eq!(a.map.low_count(), b.map.low_count());
+    assert_eq!(a.map.max_load(), b.map.max_load());
+    assert_eq!(a.map.entries_sorted(), b.map.entries_sorted());
+    assert_eq!(a.walk_stats.attempts, b.walk_stats.attempts);
+    assert_eq!(a.walk_stats.hits, b.walk_stats.hits);
+    assert_eq!(a.walk_stats.misses, b.walk_stats.misses);
+    assert_eq!(a.walk_stats.type2, b.walk_stats.type2);
+    let ta = a.net.totals();
+    let tb = b.net.totals();
+    assert_eq!(ta.rounds, tb.rounds, "total rounds diverged");
+    assert_eq!(ta.messages, tb.messages, "total messages diverged");
+    assert_eq!(ta.topology_changes, tb.topology_changes);
+    assert_eq!(ta.type2_steps, tb.type2_steps);
+}
+
+fn bootstrap_pair(n0: u64, seed: u64) -> (DexNetwork, DexNetwork) {
+    let cfg = DexConfig::new(splitmix64(seed ^ 0xd5c0)).simplified();
+    (
+        DexNetwork::bootstrap(cfg, n0),
+        DexNetwork::bootstrap(cfg, n0),
+    )
+}
+
+/// Drive `steps` through a waved network and the sequential oracle,
+/// asserting identical state after every step.
+fn run_script(n0: u64, seed: u64, steps: &[Step], threads: usize) {
+    let (mut waved, mut oracle) = bootstrap_pair(n0, seed);
+    waved.set_heal_threads(threads);
+    let mut script = Script::new(&waved, seed ^ 0x5c71);
+    for (i, &step) in steps.iter().enumerate() {
+        let pair = match step {
+            Step::Inserts(_) | Step::ChainedInserts(_) | Step::CliqueInserts(_) => {
+                let joins = script.joins_for(step).unwrap();
+                let mw = waved.insert_batch(&joins);
+                let mo = oracle.insert_batch_seq(&joins);
+                script.live.extend(joins.iter().map(|&(u, _)| u));
+                Some((mw, mo))
+            }
+            Step::Deletes(_) | Step::NeighborhoodDeletes(_) => {
+                script.victims_for(step, &oracle).map(|victims| {
+                    (
+                        waved.delete_batch(&victims),
+                        oracle.delete_batch_seq(&victims),
+                    )
+                })
+            }
+            Step::SingleInsert => {
+                let attach = script.pick_live();
+                let u = script.fresh();
+                let mw = waved.insert(u, attach);
+                let mo = oracle.insert(u, attach);
+                script.live.push(u);
+                Some((mw, mo))
+            }
+            Step::SingleDelete => {
+                if script.live.len() < 64 {
+                    None
+                } else {
+                    let idx = (script.rnd() % script.live.len() as u64) as usize;
+                    let victim = script.live.swap_remove(idx);
+                    Some((waved.delete(victim), oracle.delete(victim)))
+                }
+            }
+        };
+        if let Some((mw, mo)) = pair {
+            assert_metrics_match(&mw, &mo);
+        }
+        if i % 4 == 3 {
+            assert_networks_identical(&waved, &oracle);
+        }
+    }
+    assert_networks_identical(&waved, &oracle);
+    invariants::assert_ok(&waved);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn waved_matches_sequential_on_random_batch_scripts(
+        seed in any::<u64>(),
+        steps in proptest::collection::vec(arb_step(), 4..24),
+    ) {
+        run_script(160, seed, &steps, 1);
+    }
+
+    #[test]
+    fn waved_is_bit_identical_across_thread_counts(
+        seed in any::<u64>(),
+        steps in proptest::collection::vec(arb_step(), 4..12),
+    ) {
+        // threads=3 and threads=8 against the sequential oracle: catches
+        // both cross-thread divergence and waved-vs-sequential divergence.
+        run_script(160, seed, &steps, 3);
+        run_script(160, seed, &steps, 8);
+    }
+}
+
+/// A large all-fresh-attach batch is overwhelmingly disjoint: most ops
+/// must actually commit through waves (the engine must not silently
+/// serialize everything), and the wave counters must show it.
+#[test]
+fn disjoint_batches_actually_wave() {
+    let (mut waved, mut oracle) = bootstrap_pair(512, 0xbeef);
+    let mut script = Script::new(&waved, 0xbeef);
+    for _ in 0..4 {
+        let joins = script.joins_for(Step::Inserts(24)).unwrap();
+        let mw = waved.insert_batch(&joins);
+        let mo = oracle.insert_batch_seq(&joins);
+        script.live.extend(joins.iter().map(|&(u, _)| u));
+        assert_metrics_match(&mw, &mo);
+        assert!(mw.waves >= 1, "wave counter not recorded");
+        assert!(
+            (mw.waves as usize) < 24,
+            "24 inserts over a 512-node bootstrap should form multi-op waves, got {} waves",
+            mw.waves
+        );
+        assert_eq!(mo.waves, 0, "sequential path must not count waves");
+    }
+    assert!(
+        waved.batch_stats.waved_ops > waved.batch_stats.serial_ops,
+        "most disjoint-batch ops should commit through waves: {:?}",
+        waved.batch_stats
+    );
+    assert!(waved.batch_stats.max_wave >= 4);
+    assert_networks_identical(&waved, &oracle);
+    invariants::assert_ok(&waved);
+}
+
+/// Deleting a whole neighborhood forces maximal touch-set overlap; the
+/// engine must stay correct when nearly everything conflicts and replans.
+#[test]
+fn neighborhood_deletes_conflict_and_still_match() {
+    let (mut waved, mut oracle) = bootstrap_pair(400, 0xfeed);
+    let mut script = Script::new(&waved, 0xfeed);
+    for _ in 0..6 {
+        if let Some(victims) = script.victims_for(Step::NeighborhoodDeletes(12), &oracle) {
+            let mw = waved.delete_batch(&victims);
+            let mo = oracle.delete_batch_seq(&victims);
+            assert_metrics_match(&mw, &mo);
+        }
+        // Refill so the floor check keeps passing.
+        let joins = script.joins_for(Step::Inserts(12)).unwrap();
+        let mw = waved.insert_batch(&joins);
+        let mo = oracle.insert_batch_seq(&joins);
+        script.live.extend(joins.iter().map(|&(u, _)| u));
+        assert_metrics_match(&mw, &mo);
+    }
+    assert_networks_identical(&waved, &oracle);
+    invariants::assert_ok(&waved);
+}

@@ -208,6 +208,40 @@ impl MultiGraph {
         &self.slots[slot as usize].adj
     }
 
+    /// Is `slot` currently occupied by a live node? (Dead slots linger in
+    /// the arena until the free list recycles them.)
+    #[inline]
+    pub fn slot_alive(&self, slot: u32) -> bool {
+        self.slots.get(slot as usize).is_some_and(|s| s.alive)
+    }
+
+    /// Prefetch `slot`'s arena record (id + adjacency header) toward L1.
+    /// Batch engines call this one pipeline stage before touching the slot
+    /// so the dependent-miss chain of a pointer chase overlaps across
+    /// items (see [`crate::par::prefetch_read`]).
+    #[inline(always)]
+    pub fn prefetch_slot(&self, slot: u32) {
+        if let Some(s) = self.slots.get(slot as usize) {
+            crate::par::prefetch_read(s as *const Slot);
+        }
+    }
+
+    /// Prefetch the first cache lines of `slot`'s adjacency data. Requires
+    /// the slot record itself to be resident (issue [`Self::prefetch_slot`]
+    /// a stage earlier); the adjacency floor capacity is two lines, which
+    /// covers nearly every DEX node.
+    #[inline(always)]
+    pub fn prefetch_slot_adj(&self, slot: u32) {
+        if let Some(s) = self.slots.get(slot as usize) {
+            let ptr = s.adj.as_ptr();
+            crate::par::prefetch_read(ptr);
+            // Degree > 16 spills past one 64-byte line; fetch the second.
+            if s.adj.len() > 16 {
+                crate::par::prefetch_read(unsafe { ptr.add(16) });
+            }
+        }
+    }
+
     /// Degree of `slot`.
     #[inline]
     pub fn degree_of_slot(&self, slot: u32) -> usize {
@@ -278,8 +312,15 @@ impl MultiGraph {
 
     /// Insert an isolated node. Returns `false` if it already existed.
     pub fn add_node(&mut self, u: NodeId) -> bool {
+        self.add_node_slot(u).is_some()
+    }
+
+    /// Insert an isolated node, returning its arena slot (`None` if it
+    /// already existed). The batch commit path uses the slot directly for
+    /// the newcomer's fabric edges instead of re-hashing the id.
+    pub fn add_node_slot(&mut self, u: NodeId) -> Option<u32> {
         if self.index.contains_key(&u) {
-            return false;
+            return None;
         }
         let slot = match self.free.pop() {
             Some(s) => {
@@ -306,7 +347,7 @@ impl MultiGraph {
         self.live += 1;
         self.generation += 1;
         self.mark_membership_dirty();
-        true
+        Some(slot)
     }
 
     /// Remove `u` and all incident edges (including parallel copies and
@@ -341,6 +382,24 @@ impl MultiGraph {
         Some(removed)
     }
 
+    /// Split the arena into disjoint mutable borrows of two *distinct*
+    /// slots' adjacency lists. Pure `split_at_mut` borrow splitting — no
+    /// interior mutability, no unsafe — so callers holding both halves can
+    /// edit an edge's two endpoint rows without re-borrowing `self`
+    /// between them.
+    #[inline]
+    fn adj_pair_mut(&mut self, a: u32, b: u32) -> (&mut Vec<u32>, &mut Vec<u32>) {
+        debug_assert_ne!(a, b, "adj_pair_mut needs distinct slots");
+        let (lo, hi) = (a.min(b) as usize, a.max(b) as usize);
+        let (left, right) = self.slots.split_at_mut(hi);
+        let (lo_adj, hi_adj) = (&mut left[lo].adj, &mut right[0].adj);
+        if a < b {
+            (lo_adj, hi_adj)
+        } else {
+            (hi_adj, lo_adj)
+        }
+    }
+
     /// Add one copy of the undirected edge `{u, v}` (which may be a
     /// self-loop or a parallel copy). Both endpoints must exist.
     ///
@@ -355,11 +414,20 @@ impl MultiGraph {
             .index
             .get(&v)
             .unwrap_or_else(|| panic!("add_edge: missing endpoint {v}"));
+        self.add_edge_slots(su, sv);
+    }
+
+    /// [`Self::add_edge`] in slot space: the hot batch paths resolve each
+    /// endpoint's slot once per healing plan instead of twice per edge
+    /// instance. Both slots must be live.
+    pub fn add_edge_slots(&mut self, su: u32, sv: u32) {
+        debug_assert!(self.slot_alive(su) && self.slot_alive(sv));
         if su == sv {
             self.slots[su as usize].adj.push(su);
         } else {
-            self.slots[su as usize].adj.push(sv);
-            self.slots[sv as usize].adj.push(su);
+            let (lu, lv) = self.adj_pair_mut(su, sv);
+            lu.push(sv);
+            lv.push(su);
         }
         self.num_edges += 1;
         self.generation += 1;
@@ -375,13 +443,25 @@ impl MultiGraph {
         let (Some(&su), Some(&sv)) = (self.index.get(&u), self.index.get(&v)) else {
             return false;
         };
-        let lu = &mut self.slots[su as usize].adj;
-        let Some(pos) = lu.iter().position(|&w| w == sv) else {
-            return false;
-        };
-        lu.swap_remove(pos);
-        if su != sv {
-            let lv = &mut self.slots[sv as usize].adj;
+        self.remove_edge_slots(su, sv)
+    }
+
+    /// [`Self::remove_edge`] in slot space (see [`Self::add_edge_slots`]).
+    /// Both slots must be live.
+    pub fn remove_edge_slots(&mut self, su: u32, sv: u32) -> bool {
+        debug_assert!(self.slot_alive(su) && self.slot_alive(sv));
+        if su == sv {
+            let lu = &mut self.slots[su as usize].adj;
+            let Some(pos) = lu.iter().position(|&w| w == su) else {
+                return false;
+            };
+            lu.swap_remove(pos);
+        } else {
+            let (lu, lv) = self.adj_pair_mut(su, sv);
+            let Some(pos) = lu.iter().position(|&w| w == sv) else {
+                return false;
+            };
+            lu.swap_remove(pos);
             let pos = lv
                 .iter()
                 .position(|&w| w == su)

@@ -21,6 +21,27 @@ pub const CHUNK: usize = 4096;
 /// costs more than the loop itself.
 pub const PAR_MIN_LEN: usize = 16 * CHUNK;
 
+/// Hint the CPU to pull the cache line at `p` toward L1 (x86_64
+/// `prefetcht0`; a no-op elsewhere). Safe for any address — prefetches
+/// never fault.
+///
+/// This is the *memory-level* parallelism sibling of the thread helpers in
+/// this module: batch engines that interleave many independent pointer
+/// chases (walk hops, owner resolutions, commit targets) overlap their
+/// cache misses by prefetching the next item's lines while working on the
+/// current one — a large win even on a single core for workloads that are
+/// DRAM-latency-bound on scattered reads, which heal-time graph and Φ
+/// access is.
+#[inline(always)]
+pub fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(p as *const i8, core::arch::x86_64::_MM_HINT_T0)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
 /// Worker threads to use by default: available parallelism clamped to
 /// [1, 16].
 pub fn default_threads() -> usize {
@@ -39,27 +60,66 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
+    for_chunks_state_mut(
+        data,
+        threads,
+        CHUNK,
+        || (),
+        |start, chunk, ()| f(start, chunk),
+    );
+}
+
+/// [`for_chunks_mut`] with a caller-chosen fixed chunk size and a
+/// per-worker scratch state.
+///
+/// `init()` runs once per worker (once total in the sequential fallback)
+/// and the resulting state is threaded through every chunk that worker
+/// processes — the shape heal planning needs: expensive pooled buffers
+/// (overlay maps, visited lists) are built once per worker and reused
+/// across that worker's chunks, not rebuilt per element.
+///
+/// Determinism contract, same as [`for_chunks_mut`]: chunk boundaries
+/// depend only on `chunk_size` (never on `threads`), chunks are disjoint,
+/// and per-element results may depend only on `(start_index, element)` —
+/// the worker state must act as scratch, not as an input that varies with
+/// which worker processed the chunk. Under that contract results are
+/// bit-identical for any thread count.
+pub fn for_chunks_state_mut<T, S, I, F>(
+    data: &mut [T],
+    threads: usize,
+    chunk_size: usize,
+    init: I,
+    f: F,
+) where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut [T], &mut S) + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
     let n = data.len();
-    if threads <= 1 || n <= CHUNK {
-        for (c, chunk) in data.chunks_mut(CHUNK).enumerate() {
-            f(c * CHUNK, chunk);
+    if threads <= 1 || n <= chunk_size {
+        let mut state = init();
+        for (c, chunk) in data.chunks_mut(chunk_size).enumerate() {
+            f(c * chunk_size, chunk, &mut state);
         }
         return;
     }
-    let n_chunks = n.div_ceil(CHUNK);
+    let n_chunks = n.div_ceil(chunk_size);
     let workers = threads.min(n_chunks);
     let chunks_per_worker = n_chunks.div_ceil(workers);
-    let span = chunks_per_worker * CHUNK;
+    let span = chunks_per_worker * chunk_size;
     std::thread::scope(|s| {
         let f = &f;
+        let init = &init;
         let mut rest = data;
         let mut offset = 0usize;
         while !rest.is_empty() {
             let take = span.min(rest.len());
             let (head, tail) = rest.split_at_mut(take);
             s.spawn(move || {
-                for (c, chunk) in head.chunks_mut(CHUNK).enumerate() {
-                    f(offset + c * CHUNK, chunk);
+                let mut state = init();
+                for (c, chunk) in head.chunks_mut(chunk_size).enumerate() {
+                    f(offset + c * chunk_size, chunk, &mut state);
                 }
             });
             rest = tail;
@@ -160,5 +220,33 @@ mod tests {
     #[test]
     fn empty_reduction() {
         assert_eq!(reduce_chunks(0, 4, |_, _| unreachable!()), 0.0);
+    }
+
+    #[test]
+    fn sized_chunks_with_worker_state_cover_everything_once() {
+        for n in [0usize, 1, 7, 8, 9, 100] {
+            for threads in [1, 3, 8] {
+                let mut data = vec![0u32; n];
+                for_chunks_state_mut(
+                    &mut data,
+                    threads,
+                    8,
+                    Vec::<u32>::new,
+                    |start, chunk, scratch| {
+                        // The state is scratch: its contents carry over
+                        // between one worker's chunks but never leak into
+                        // results.
+                        scratch.push(start as u32);
+                        for (i, v) in chunk.iter_mut().enumerate() {
+                            *v += (start + i) as u32 + 1;
+                        }
+                    },
+                );
+                assert!(
+                    data.iter().enumerate().all(|(i, &v)| v == i as u32 + 1),
+                    "n={n} threads={threads}"
+                );
+            }
+        }
     }
 }

@@ -187,6 +187,100 @@ impl PCycle {
         self.bfs_distances(a)[b.0 as usize]
     }
 
+    /// Shortest path `from → to` (inclusive) into a caller buffer, by
+    /// bidirectional BFS over pooled scratch.
+    ///
+    /// [`PCycle::shortest_path`] runs a *full* O(p) BFS and allocates per
+    /// call — ruinous for per-operation routing (the DHT) at p ≈ 10⁶.
+    /// Meeting in the middle visits O(3^(d/2)) ≈ O(√p) vertices instead,
+    /// and every buffer lives in `scratch`, so a warmed-up caller
+    /// allocates nothing. Fully deterministic: frontiers expand in
+    /// insertion order with the fixed (succ, pred, chord) neighbor order,
+    /// sides alternate strictly starting forward, and the first shortest
+    /// meeting found in that order wins. The returned path length always
+    /// equals [`PCycle::distance`] (a proptest enforces this); the path
+    /// itself may differ from the unidirectional one — any shortest path
+    /// is a valid route (Sect. 4.4).
+    pub fn shortest_path_with(
+        &self,
+        from: VertexId,
+        to: VertexId,
+        scratch: &mut PathScratch,
+        out: &mut Vec<VertexId>,
+    ) {
+        out.clear();
+        if from == to {
+            out.push(from);
+            return;
+        }
+        let PathScratch {
+            fwd,
+            bwd,
+            fq,
+            bq,
+            next,
+        } = scratch;
+        fwd.clear();
+        bwd.clear();
+        fq.clear();
+        bq.clear();
+        next.clear();
+        fwd.insert(from.0, (from.0, 0));
+        bwd.insert(to.0, (to.0, 0));
+        fq.push(from.0);
+        bq.push(to.0);
+        let (mut df, mut db) = (0u32, 0u32);
+        let mut best: u32 = u32::MAX;
+        let mut meet: u64 = u64::MAX;
+        let mut forward = true;
+        while (best as u64) > (df + db) as u64 {
+            // Expand one full level of the chosen side (alternating;
+            // falling back to the other side if this one is exhausted).
+            let go_forward = (forward && !fq.is_empty()) || bq.is_empty();
+            let (this, other, queue, depth) = if go_forward {
+                (&mut *fwd, &*bwd, &mut *fq, &mut df)
+            } else {
+                (&mut *bwd, &*fwd, &mut *bq, &mut db)
+            };
+            if queue.is_empty() {
+                break; // both exhausted: unreachable vertex (not on Z(p))
+            }
+            *depth += 1;
+            next.clear();
+            for &x in queue.iter() {
+                for v in self.neighbors(VertexId(x)) {
+                    if let std::collections::hash_map::Entry::Vacant(e) = this.entry(v.0) {
+                        e.insert((x, *depth));
+                        next.push(v.0);
+                        if let Some(&(_, do_)) = other.get(&v.0) {
+                            let cand = *depth + do_;
+                            if cand < best {
+                                best = cand;
+                                meet = v.0;
+                            }
+                        }
+                    }
+                }
+            }
+            std::mem::swap(queue, next);
+            forward = !forward;
+        }
+        assert!(meet != u64::MAX, "Z(p) is connected");
+        // Reconstruct: forward half reversed, then the backward chain.
+        out.push(VertexId(meet));
+        let mut cur = meet;
+        while cur != from.0 {
+            cur = fwd[&cur].0;
+            out.push(VertexId(cur));
+        }
+        out.reverse();
+        cur = meet;
+        while cur != to.0 {
+            cur = bwd[&cur].0;
+            out.push(VertexId(cur));
+        }
+    }
+
     /// Exact diameter by all-pairs BFS — O(p²); use for small `p`
     /// (tests and the Figure-1 harness only).
     pub fn diameter(&self) -> u32 {
@@ -206,6 +300,28 @@ impl PCycle {
 impl std::fmt::Debug for PCycle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Z({})", self.p)
+    }
+}
+
+/// Pooled buffers for [`PCycle::shortest_path_with`] (bidirectional BFS):
+/// two parent/depth maps, two frontiers, and a staging queue. One instance
+/// serves unbounded routing operations with no steady-state allocation —
+/// the maps retain their high-water capacity across calls.
+#[derive(Default)]
+pub struct PathScratch {
+    /// Forward side: vertex → (parent toward `from`, depth).
+    fwd: FxHashMap<u64, (u64, u32)>,
+    /// Backward side: vertex → (parent toward `to`, depth).
+    bwd: FxHashMap<u64, (u64, u32)>,
+    fq: Vec<u64>,
+    bq: Vec<u64>,
+    next: Vec<u64>,
+}
+
+impl PathScratch {
+    /// Fresh (empty) scratch.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -525,5 +641,45 @@ mod tests {
     #[should_panic(expected = "prime")]
     fn rejects_composite() {
         PCycle::new(21);
+    }
+
+    #[test]
+    fn bidirectional_path_is_shortest_and_allocation_pooled() {
+        let mut scratch = PathScratch::new();
+        let mut out = Vec::new();
+        for p in [5u64, 101, 499] {
+            let z = PCycle::new(p);
+            for a in 0..p.min(40) {
+                for b in [0, 1, p - 1, (a * 7 + 3) % p, p / 2] {
+                    let (a, b) = (VertexId(a), VertexId(b));
+                    z.shortest_path_with(a, b, &mut scratch, &mut out);
+                    assert_eq!(out.first(), Some(&a), "{a}->{b} on Z({p})");
+                    assert_eq!(out.last(), Some(&b));
+                    assert_eq!(
+                        out.len() as u32 - 1,
+                        z.distance(a, b),
+                        "{a}->{b} on Z({p}) not shortest"
+                    );
+                    for w in out.windows(2) {
+                        assert!(z.adjacent(w[0], w[1]), "non-edge step {w:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bidirectional_path_is_deterministic() {
+        let z = PCycle::new(499);
+        let mut s1 = PathScratch::new();
+        let mut s2 = PathScratch::new();
+        let (mut o1, mut o2) = (Vec::new(), Vec::new());
+        // A warm scratch (s1 reused) and a cold one must agree.
+        z.shortest_path_with(VertexId(3), VertexId(404), &mut s1, &mut o1);
+        for (a, b) in [(17u64, 481u64), (3, 404), (0, 250)] {
+            z.shortest_path_with(VertexId(a), VertexId(b), &mut s1, &mut o1);
+            z.shortest_path_with(VertexId(a), VertexId(b), &mut s2, &mut o2);
+            assert_eq!(o1, o2, "{a}->{b}");
+        }
     }
 }

@@ -57,6 +57,11 @@ pub struct StepMetrics {
     /// Edges added or removed by the *algorithm* (adversarial attach /
     /// attack edges are not charged).
     pub topology_changes: u64,
+    /// Conflict-free waves the parallel batch-heal engine applied this
+    /// step (0 when the step healed through the sequential path). Pure
+    /// observability: the metered costs above are charged identically
+    /// either way.
+    pub waves: u32,
     /// Network size after the step.
     pub n_after: usize,
 }
@@ -266,6 +271,7 @@ mod tests {
             rounds,
             messages: rounds * 10,
             topology_changes: 2,
+            waves: 0,
             n_after: 16,
         };
         let steps = vec![
@@ -294,6 +300,7 @@ mod tests {
             rounds,
             messages: rounds * 3 + 1,
             topology_changes: step % 4,
+            waves: 0,
             n_after: 9,
         };
         let steps: Vec<StepMetrics> = (1..40)

@@ -39,6 +39,12 @@ pub struct RunOptions {
     pub lambda_every: usize,
     /// Worker threads for the trial fan-out.
     pub threads: usize,
+    /// Planner threads for the in-network parallel batch-heal engine
+    /// (`dex_core::parheal`): scenario `BatchInsert`/`BatchDelete`
+    /// actions of ≥ 8 ops are healed in conflict-free waves, planned over
+    /// this many workers. Purely a throughput knob — trial results are
+    /// bit-identical for any value (the same contract as `threads`).
+    pub heal_threads: usize,
     /// Assert the full structural invariants after every action
     /// (O(n) per step — test-scale only).
     pub check_invariants: bool,
@@ -59,6 +65,7 @@ impl Default for RunOptions {
             seed: 0xd5c0,
             lambda_every: 32,
             threads: default_threads(),
+            heal_threads: 1,
             check_invariants: false,
             keep_actions: true,
             keep_step_metrics: true,
@@ -149,6 +156,7 @@ pub fn run_scenario(
     // The trial streams its own compact log; the inner network need not
     // hold a second copy of every step.
     t.dex.net.set_history_mode(HistoryMode::Off);
+    t.dex.set_heal_threads(opts.heal_threads);
     t.sample_lambda();
     for phase in &sc.phases {
         t.run_phase(phase);
@@ -378,6 +386,7 @@ mod tests {
             seed: 42,
             lambda_every: 16,
             threads: 2,
+            heal_threads: 2,
             check_invariants: true,
             keep_actions: true,
             keep_step_metrics: true,
