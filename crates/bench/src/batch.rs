@@ -28,15 +28,30 @@
 //!   histograms, serial-fallback and replan counts.
 //! - **Allocation** — bytes allocated per heal op (through
 //!   [`crate::alloc`]) for the sequential path and the single-threaded
-//!   waved path (steady state pools everything; waved planning at > 1
-//!   thread allocates per-worker scratch by design).
+//!   waved path (steady state pools everything; pool workers keep their
+//!   planning scratch in persistent per-worker slots, so warm waves
+//!   allocate nothing and spawn nothing — `pool_spawns` records it).
+//! - **Per-wave fan-out cost** — a direct microbench of one planning
+//!   round's work distribution at 8 workers: persistent-pool handoff vs
+//!   the per-call scoped spawn+join the engine paid before `dex-exec`.
+//! - **Adaptive crossover** (small scale, full mode) — the deterministic
+//!   small-n controller in auto mode: batches routed to the sequential
+//!   path, ops kept waved by the probe schedule, throughput vs both the
+//!   oracle and the pure waved engine.
+//!
+//! A `--type2` variant swaps the mixed churn for a type-2-heavy schedule
+//! (pure batch growth through an inflation, then pure batch shrink
+//! through a deflation), proving the pooled type-2 rebuild — permutation
+//! resolution, cloud staging — stays bit-identical to the sequential
+//! oracle; it is smoke-formatted and CI byte-diffs it across thread
+//! counts like `--smoke`.
 //!
 //! Determinism contract: everything except the clearly-labelled timing
-//! fields is a pure function of `(smoke, seed)` — independent of
-//! `--threads`. In `--smoke` mode timing and allocation fields are
-//! omitted and the JSON is **byte-identical** across thread counts (CI
-//! runs `--threads 1/3/8` and diffs the files; the `batch_determinism`
-//! test does the same in-process).
+//! fields is a pure function of `(smoke, type2, seed)` — independent of
+//! `--exec-threads`. In `--smoke`/`--type2` mode timing and allocation
+//! fields are omitted and the JSON is **byte-identical** across thread
+//! counts (CI runs `--exec-threads 1/3/8` and diffs the files; the
+//! `batch_determinism` tests do the same in-process).
 
 use dex::core::parheal::WAVE_HIST_BUCKETS;
 use dex::prelude::*;
@@ -49,6 +64,12 @@ use std::time::Instant;
 pub struct BatchBenchOptions {
     /// Toy scales, per-step invariant checking, no timing/alloc fields.
     pub smoke: bool,
+    /// Type-2-heavy schedule (pure growth through an inflation, then pure
+    /// shrink through a deflation) instead of the mixed churn: exercises
+    /// the pooled type-2 rebuild (permutation resolution, cloud staging)
+    /// inside batch steps. Smoke-formatted — the output is byte-identical
+    /// for any `--threads` value and CI diffs 1/3/8.
+    pub type2: bool,
     /// Planner thread count for the smoke parity pass (full mode sweeps a
     /// fixed list instead; results are bit-identical for any value).
     pub threads: usize,
@@ -64,6 +85,7 @@ impl Default for BatchBenchOptions {
     fn default() -> Self {
         BatchBenchOptions {
             smoke: false,
+            type2: false,
             threads: 1,
             seed: 0xba7c4,
             alloc_bytes: None,
@@ -76,8 +98,13 @@ struct Scale {
     n0: u64,
     /// Ops per batch step.
     batch: usize,
-    /// Total batch steps (first quarter is warmup).
+    /// Total batch steps (first quarter is warmup; under a type-2
+    /// schedule there is no warmup split — the whole run is measured).
     steps: usize,
+    /// Type-2 schedule: the first `grow` steps are batch inserts and the
+    /// rest batch deletes (forcing inflate → deflate); `None` ⇒ the
+    /// mixed alternating schedule.
+    grow: Option<usize>,
     /// Waved planner thread counts to sweep (full mode).
     sweep: &'static [usize],
 }
@@ -95,16 +122,21 @@ struct BatchChurn {
     victims: Vec<NodeId>,
     /// Waved entry points (`false` ⇒ the `*_seq` oracle).
     waved: bool,
+    /// Type-2 schedule: insert-only for the first `grow` steps, then
+    /// delete-only (`None` ⇒ alternate).
+    grow: Option<usize>,
     pub digest: u64,
     pub ops: u64,
 }
 
 impl BatchChurn {
-    fn new(n0: u64, seed: u64, waved: bool, threads: usize) -> Self {
+    fn new(sc: &Scale, seed: u64, waved: bool, threads: usize, crossover: bool) -> Self {
+        let n0 = sc.n0;
         let mut dex =
             DexNetwork::bootstrap(DexConfig::new(splitmix64(seed ^ 0xba7c4)).simplified(), n0);
         dex.net.set_history_mode(HistoryMode::Off);
         dex.set_heal_threads(threads);
+        dex.set_adaptive_crossover(crossover);
         let live = dex.node_ids();
         let next_id = live.iter().map(|u| u.0).max().unwrap_or(0) + 1;
         BatchChurn {
@@ -115,6 +147,7 @@ impl BatchChurn {
             joins: Vec::new(),
             victims: Vec::new(),
             waved,
+            grow: sc.grow,
             digest: splitmix64(seed),
             ops: 0,
         }
@@ -126,10 +159,16 @@ impl BatchChurn {
         self.state
     }
 
-    /// One batch step: even steps insert `batch` nodes, odd steps delete
-    /// `batch` nodes (n oscillates around n0).
+    /// One batch step. Mixed schedule: even steps insert `batch` nodes,
+    /// odd steps delete `batch` nodes (n oscillates around n0). Type-2
+    /// schedule: insert-only while `s < grow`, delete-only after —
+    /// driving the network through an inflation and then a deflation.
     fn step(&mut self, s: usize, batch: usize) {
-        let m = if s.is_multiple_of(2) {
+        let inserting = match self.grow {
+            Some(grow) => s < grow,
+            None => s.is_multiple_of(2),
+        };
+        let m = if inserting {
             self.joins.clear();
             for _ in 0..batch {
                 // Fan-in-safe attach point (validation caps fan-in at 8).
@@ -203,6 +242,14 @@ struct RunOutcome {
     /// Wave-engine stats over the measured window (zeroed for the
     /// sequential path).
     stats: dex::core::parheal::BatchHealStats,
+    /// Steps whose recovery was a type-2 flavour (whole run).
+    type2_steps: u64,
+    /// Steps the adaptive crossover routed to the sequential path
+    /// (whole run; 0 unless the crossover config is enabled).
+    crossover_steps: u64,
+    /// Executor threads spawned during the measured window — 0 on a warm
+    /// pool (the warmup window absorbs the lazy spawns).
+    pool_spawns: u64,
 }
 
 fn run_config(
@@ -210,23 +257,29 @@ fn run_config(
     seed: u64,
     waved: bool,
     threads: usize,
+    crossover: bool,
     opts: &BatchBenchOptions,
 ) -> RunOutcome {
-    let warmup = sc.steps / 4;
-    let mut d = BatchChurn::new(sc.n0, seed, waved, threads);
+    // Type-2 schedules measure the whole run (the inflate/deflate events
+    // *are* the workload); mixed churn warms up for a quarter first.
+    let warmup = if sc.grow.is_some() { 0 } else { sc.steps / 4 };
+    let mut d = BatchChurn::new(sc, seed, waved, threads, crossover);
+    let check = opts.smoke || opts.type2;
     for s in 0..warmup {
         d.step(s, sc.batch);
-        if opts.smoke {
+        if check {
             invariants::assert_ok(&d.dex);
         }
     }
     d.dex.batch_stats.reset();
     let ops0 = d.ops;
+    let totals0 = d.dex.net.totals();
     let b0 = opts.alloc_bytes.map(|f| f());
+    let spawns0 = dex::exec::total_spawns();
     let t0 = Instant::now();
     for s in warmup..sc.steps {
         d.step(s, sc.batch);
-        if opts.smoke {
+        if check {
             invariants::assert_ok(&d.dex);
         }
     }
@@ -240,7 +293,40 @@ fn run_config(
         wall_s,
         bytes,
         stats: d.dex.batch_stats.clone(),
+        type2_steps: d.dex.net.totals().type2_steps - totals0.type2_steps,
+        crossover_steps: d.dex.net.totals().crossover_steps - totals0.crossover_steps,
+        pool_spawns: dex::exec::total_spawns() - spawns0,
     }
+}
+
+/// Per-wave fan-out cost, measured directly: one planning round's worth of
+/// work distribution at 8 workers, (a) as a persistent-pool parked-worker
+/// handoff round-trip and (b) as the pre-executor per-call scoped-thread
+/// spawn+join the engine used to pay. The ratio is the structural win of
+/// the pool on this machine, independent of workload noise.
+fn fanout_microbench() -> (u64, u64) {
+    const WORKERS: usize = 8;
+    const ROUNDS: u32 = 1000;
+    dex::exec::prewarm(WORKERS);
+    let t0 = Instant::now();
+    for _ in 0..ROUNDS {
+        dex::exec::run_workers(WORKERS, |w| {
+            std::hint::black_box(w);
+        });
+    }
+    let pool_ns = (t0.elapsed().as_nanos() / ROUNDS as u128) as u64;
+    let t0 = Instant::now();
+    for _ in 0..ROUNDS {
+        std::thread::scope(|s| {
+            for i in 1..WORKERS {
+                s.spawn(move || {
+                    std::hint::black_box(i);
+                });
+            }
+        });
+    }
+    let spawn_ns = (t0.elapsed().as_nanos() / ROUNDS as u128) as u64;
+    (pool_ns, spawn_ns)
 }
 
 fn wave_hist_json(h: &[u64; WAVE_HIST_BUCKETS]) -> String {
@@ -250,18 +336,42 @@ fn wave_hist_json(h: &[u64; WAVE_HIST_BUCKETS]) -> String {
 
 /// Run the benchmark and return the `BENCH_batch.json` contents.
 pub fn run_batch_bench(opts: &BatchBenchOptions) -> String {
-    let scales: Vec<Scale> = if opts.smoke {
+    let scales: Vec<Scale> = if opts.type2 {
+        // Pure growth through an inflation, then pure shrink through a
+        // deflation: p₀ = initial_prime(4n₀..8n₀), spares are exhausted
+        // once n approaches p₀ (inflate), and Low empties once the
+        // contracted network is overloaded (deflate). Sized so both fire
+        // deterministically; the run asserts they did.
+        vec![
+            Scale {
+                n0: 48,
+                batch: 16,
+                steps: 22,
+                grow: Some(10),
+                sweep: &[],
+            },
+            Scale {
+                n0: 96,
+                batch: 24,
+                steps: 29,
+                grow: Some(13),
+                sweep: &[],
+            },
+        ]
+    } else if opts.smoke {
         vec![
             Scale {
                 n0: 192,
                 batch: 16,
                 steps: 24,
+                grow: None,
                 sweep: &[],
             },
             Scale {
                 n0: 768,
                 batch: 24,
                 steps: 32,
+                grow: None,
                 sweep: &[],
             },
         ]
@@ -271,70 +381,95 @@ pub fn run_batch_bench(opts: &BatchBenchOptions) -> String {
                 n0: 20_000,
                 batch: 64,
                 steps: 2400,
+                grow: None,
                 sweep: &[1, 2, 4, 8],
             },
             Scale {
                 n0: 200_000,
                 batch: 64,
                 steps: 1600,
+                grow: None,
                 sweep: &[1, 2, 4, 8],
             },
             Scale {
                 n0: 1_000_000,
                 batch: 64,
                 steps: 640,
+                grow: None,
                 sweep: &[1, 8],
             },
         ]
     };
+    let deterministic_output = opts.smoke || opts.type2;
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    if opts.smoke {
+    let schedule = if opts.type2 { "type2" } else { "mixed" };
+    // `deterministic` is what gates timing-field omission; `smoke`
+    // faithfully reflects the flag (a `--type2` run is deterministic but
+    // not a smoke run).
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"smoke\": {}, \"schedule\": \"{schedule}\", \"deterministic\": {deterministic_output}, \"seed\": {}}},",
+        opts.smoke, opts.seed
+    );
+    // Machine context for reading the thread sweep: real multi-core
+    // measurements and single-core pool-handoff numbers look alike in a
+    // flat table — `available_parallelism` vs `thread_budget` is what
+    // distinguishes them (and flags Amdahl projections as projections).
+    let _ = writeln!(json, "  {},", crate::exec_header_json());
+    if !deterministic_output {
+        let (pool_ns, spawn_ns) = fanout_microbench();
         let _ = writeln!(
             json,
-            "  \"config\": {{\"smoke\": true, \"seed\": {}}},",
-            opts.seed
+            "  \"per_wave_fanout\": {{\"workers\": 8, \"pool_handoff_ns_per_round\": {pool_ns}, \"scoped_spawn_ns_per_round\": {spawn_ns}, \"reduction\": {:.1}}},",
+            spawn_ns as f64 / pool_ns.max(1) as f64
         );
-    } else {
-        // Machine context for reading the thread sweep: with fewer cores
-        // than swept threads the measured sweep is flat by construction
-        // (the engine clamps workers to the available parallelism) and
-        // the `projection` objects carry the multicore story.
-        let cores = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        let _ = writeln!(
-            json,
-            "  \"config\": {{\"smoke\": false, \"seed\": {}, \"available_parallelism\": {cores}}},",
-            opts.seed
+        println!(
+            "per-wave fan-out (8 workers): pool handoff {pool_ns} ns/round vs scoped spawn {spawn_ns} ns/round ({:.1}x cheaper)",
+            spawn_ns as f64 / pool_ns.max(1) as f64
         );
     }
     let _ = writeln!(json, "  \"scales\": [");
     for (i, sc) in scales.iter().enumerate() {
         let seed = splitmix64(opts.seed ^ sc.n0);
-        let measured_steps = sc.steps - sc.steps / 4;
+        let warmup = if sc.grow.is_some() { 0 } else { sc.steps / 4 };
+        let measured_steps = sc.steps - warmup;
 
         // Sequential oracle.
-        let seq = run_config(sc, seed, false, 1, opts);
+        let seq = run_config(sc, seed, false, 1, false, opts);
         let seq_ops_s = seq.measured_ops as f64 / seq.wall_s;
 
-        // Waved sweep: smoke runs only the caller's thread count (results
-        // are bit-identical for any value — that's what CI diffs); full
-        // mode sweeps the scale's list.
-        let sweep: Vec<usize> = if opts.smoke {
+        // Waved sweep: smoke/type2 runs only the caller's thread count
+        // (results are bit-identical for any value — that's what CI
+        // diffs); full mode sweeps the scale's list.
+        let sweep: Vec<usize> = if deterministic_output {
             vec![opts.threads.max(1)]
         } else {
             sc.sweep.to_vec()
         };
         let waved: Vec<(usize, RunOutcome)> = sweep
             .iter()
-            .map(|&t| (t, run_config(sc, seed, true, t, opts)))
+            .map(|&t| (t, run_config(sc, seed, true, t, false, opts)))
             .collect();
         for (t, w) in &waved {
             assert_eq!(
                 w.digest, seq.digest,
                 "waved (threads={t}) and sequential state diverged at n0={}",
+                sc.n0
+            );
+            assert_eq!(
+                w.type2_steps, seq.type2_steps,
+                "waved (threads={t}) type-2 schedule diverged at n0={}",
+                sc.n0
+            );
+        }
+        if opts.type2 {
+            assert!(
+                seq.type2_steps >= 2,
+                "type-2 schedule must trigger an inflation and a deflation \
+                 (got {} type-2 steps at n0={})",
+                seq.type2_steps,
                 sc.n0
             );
         }
@@ -351,9 +486,10 @@ pub fn run_batch_bench(opts: &BatchBenchOptions) -> String {
             seq.digest
         );
         let _ = writeln!(json, "      \"invariants\": \"ok\",");
+        let _ = writeln!(json, "      \"type2_steps\": {},", seq.type2_steps);
         // Sequential section.
         let mut line = String::from("      \"seq\": {");
-        if !opts.smoke {
+        if !deterministic_output {
             let _ = write!(
                 line,
                 "\"ops_per_sec\": {:.0}, \"wall_s\": {:.3}, \"bytes_per_op\": {}",
@@ -368,7 +504,7 @@ pub fn run_batch_bench(opts: &BatchBenchOptions) -> String {
         }
         line.push_str("},");
         let _ = writeln!(json, "{line}");
-        if !opts.smoke {
+        if !deterministic_output {
             println!(
                 "n0={:<9} seq   {:>10.0} ops/s  ({} ops in {:.3}s)",
                 sc.n0, seq_ops_s, seq.measured_ops, seq.wall_s
@@ -379,7 +515,7 @@ pub fn run_batch_bench(opts: &BatchBenchOptions) -> String {
         for (j, (t, w)) in waved.iter().enumerate() {
             let s = &w.stats;
             let _ = writeln!(json, "        {{");
-            if opts.smoke {
+            if deterministic_output {
                 // The thread count must not appear in smoke output: the
                 // whole point of the CI diff is that nothing else depends
                 // on it.
@@ -387,7 +523,7 @@ pub fn run_batch_bench(opts: &BatchBenchOptions) -> String {
             } else {
                 let _ = writeln!(json, "          \"threads\": {t},");
             }
-            if !opts.smoke {
+            if !deterministic_output {
                 let ops_s = w.measured_ops as f64 / w.wall_s;
                 let _ = writeln!(
                     json,
@@ -409,6 +545,9 @@ pub fn run_batch_bench(opts: &BatchBenchOptions) -> String {
                     s.serial_ns,
                     s.plan_ns as f64 / sect_total as f64
                 );
+                // A warm pool spawns nothing inside the measured window —
+                // the per-wave fan-out cost is parked-worker handoffs only.
+                let _ = writeln!(json, "          \"pool_spawns\": {},", w.pool_spawns);
                 println!(
                     "n0={:<9} waved {:>10.0} ops/s  (threads {t}, {:.2}x vs seq; plan {:.0}% of engine time; waves {} serial {} replans {})",
                     sc.n0,
@@ -437,7 +576,7 @@ pub fn run_batch_bench(opts: &BatchBenchOptions) -> String {
             );
         }
         let _ = writeln!(json, "      ]");
-        if !opts.smoke {
+        if !deterministic_output {
             // Amdahl projection from the measured 1-thread sections: the
             // planning pass is read-only and chunk-deterministic, so it
             // divides across workers; partition/commit/serial stay
@@ -463,6 +602,40 @@ pub fn run_batch_bench(opts: &BatchBenchOptions) -> String {
                     sc.n0,
                     proj_ops_s,
                     proj_ops_s / seq_ops_s
+                );
+            }
+            // Adaptive small-n crossover, auto mode: the controller routes
+            // cache-resident batches to the sequential path (decision
+            // recorded per step in `StepMetrics::crossover`). Only the
+            // small scale is in the controller's regime — larger scales
+            // always wave, so re-running them tells us nothing.
+            if sc.n0 < 100_000 {
+                let auto = run_config(sc, seed, true, 8, true, opts);
+                assert_eq!(
+                    auto.digest, seq.digest,
+                    "crossover (auto) state diverged at n0={}",
+                    sc.n0
+                );
+                let auto_ops_s = auto.measured_ops as f64 / auto.wall_s;
+                let _ = writeln!(
+                    json,
+                    "      ,\"crossover_auto\": {{\"ops_per_sec\": {:.0}, \"wall_s\": {:.3}, \"speedup_vs_seq\": {:.3}, \"crossover_steps\": {}, \"crossover_batches\": {}, \"crossover_ops\": {}, \"waved_ops\": {}}}",
+                    auto_ops_s,
+                    auto.wall_s,
+                    auto_ops_s / seq_ops_s,
+                    auto.crossover_steps,
+                    auto.stats.crossover_batches,
+                    auto.stats.crossover_ops,
+                    auto.stats.waved_ops
+                );
+                println!(
+                    "n0={:<9} auto  {:>10.0} ops/s  (adaptive crossover, {:.2}x vs seq; {} batches routed seq / {} ops, {} waved ops kept by probes)",
+                    sc.n0,
+                    auto_ops_s,
+                    auto_ops_s / seq_ops_s,
+                    auto.stats.crossover_batches,
+                    auto.stats.crossover_ops,
+                    auto.stats.waved_ops
                 );
             }
         }

@@ -6,11 +6,16 @@
 //! ```sh
 //! cargo run --release -p dex-bench --bin bench_batch            # full, up to n≈1M
 //! cargo run --release -p dex-bench --bin bench_batch -- --smoke # CI-sized
-//! cargo run --release -p dex-bench --bin bench_batch -- --smoke --threads 8
+//! cargo run --release -p dex-bench --bin bench_batch -- --smoke --exec-threads 8
+//! cargo run --release -p dex-bench --bin bench_batch -- --type2 --exec-threads 3
 //! ```
 //!
-//! `--smoke` output is byte-identical for any `--threads` value — CI runs
-//! 1/3/8 and diffs the files.
+//! `--smoke` and `--type2` output is byte-identical for any
+//! `--exec-threads` value — CI runs 1/3/8 and diffs the files. `--type2`
+//! drives a type-2-heavy schedule (batch growth through an inflation,
+//! then batch shrink through a deflation) so the pooled rebuild fan-out
+//! is exercised and parity-checked. `--threads` is a deprecated alias of
+//! `--exec-threads`.
 
 use dex_bench::alloc::{allocated_bytes, CountingAlloc};
 use dex_bench::batch::{run_batch_bench, BatchBenchOptions};
@@ -23,24 +28,37 @@ fn main() {
         alloc_bytes: Some(allocated_bytes),
         ..BatchBenchOptions::default()
     };
-    let mut out = String::from("BENCH_batch.json");
+    let mut out: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => opts.smoke = true,
-            "--threads" => {
-                opts.threads = it.next().and_then(|v| v.parse().ok()).expect("--threads N");
+            "--type2" => opts.type2 = true,
+            "--exec-threads" | "--threads" => {
+                opts.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--exec-threads N");
             }
             "--seed" => {
                 opts.seed = it.next().and_then(|v| v.parse().ok()).expect("--seed S");
             }
             "--out" => {
-                out = it.next().expect("--out FILE");
+                out = Some(it.next().expect("--out FILE"));
             }
-            other => panic!("unknown flag {other:?} (try --smoke / --threads / --seed / --out)"),
+            other => panic!(
+                "unknown flag {other:?} (try --smoke / --type2 / --exec-threads / --seed / --out)"
+            ),
         }
     }
+    let out = out.unwrap_or_else(|| {
+        if opts.type2 {
+            "BENCH_batch_type2.json".into()
+        } else {
+            "BENCH_batch.json".into()
+        }
+    });
     let json = run_batch_bench(&opts);
-    std::fs::write(&out, &json).expect("write BENCH_batch.json");
+    std::fs::write(&out, &json).expect("write batch bench JSON");
     println!("wrote {out}");
 }

@@ -214,13 +214,7 @@ fn main() {
         base.num_nodes(),
         base.num_edges()
     );
-    let _ = writeln!(
-        json,
-        "  \"threads_available\": {},",
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    );
+    let _ = writeln!(json, "  {},", dex_bench::exec_header_json());
     let _ = writeln!(json, "  \"lambda2_under_churn\": {{");
     let _ = writeln!(json, "    \"epochs\": {EPOCHS},");
     let _ = writeln!(json, "    \"edge_churn_per_epoch\": {CHURN_PER_EPOCH},");

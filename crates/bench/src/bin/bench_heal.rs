@@ -15,8 +15,10 @@
 //! ```sh
 //! cargo run --release -p dex-bench --bin bench_heal            # full, up to n≈1M
 //! cargo run --release -p dex-bench --bin bench_heal -- --smoke # CI-sized
-//! cargo run --release -p dex-bench --bin bench_heal -- --threads 1
+//! cargo run --release -p dex-bench --bin bench_heal -- --exec-threads 1
 //! ```
+//!
+//! `--threads` is a deprecated alias of `--exec-threads`.
 
 use dex_bench::alloc::{allocated_bytes, CountingAlloc};
 use dex_bench::heal::{run_heal_bench, HealBenchOptions};
@@ -33,8 +35,11 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => opts.smoke = true,
-            "--threads" => {
-                opts.threads = it.next().and_then(|v| v.parse().ok()).expect("--threads N");
+            "--exec-threads" | "--threads" => {
+                opts.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--exec-threads N");
             }
             "--seed" => {
                 opts.seed = it.next().and_then(|v| v.parse().ok()).expect("--seed S");
@@ -42,7 +47,9 @@ fn main() {
             "--trials" => {
                 opts.trials = it.next().and_then(|v| v.parse().ok()).expect("--trials R");
             }
-            other => panic!("unknown flag {other:?} (try --smoke / --threads / --seed / --trials)"),
+            other => {
+                panic!("unknown flag {other:?} (try --smoke / --exec-threads / --seed / --trials)")
+            }
         }
     }
     let json = run_heal_bench(&opts);

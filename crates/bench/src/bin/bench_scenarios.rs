@@ -2,16 +2,17 @@
 //! against DEX at n ≈ 20k and emits `BENCH_scenarios.json` with per-step
 //! percentile cost summaries and λ₂ trajectories.
 //!
-//! Determinism contract: the JSON is **byte-identical** for a given
-//! `--seed` regardless of `--threads` (trials fan out over the
-//! order-preserving `par_map`; nothing in the output depends on timing or
-//! machine configuration). The CI smoke job relies on `--smoke` running
-//! every family at toy scale in seconds.
+//! Determinism contract: everything in the JSON except the executor
+//! header is **byte-identical** for a given `--seed` regardless of
+//! `--exec-threads` (trials fan out over the order-preserving `par_map`;
+//! nothing in the output depends on timing). The CI smoke job relies on
+//! `--smoke` running every family at toy scale in seconds. `--threads`
+//! is a deprecated alias of `--exec-threads`.
 //!
 //! ```sh
 //! cargo run --release -p dex-bench --bin bench_scenarios            # full, n≈20k
 //! cargo run --release -p dex-bench --bin bench_scenarios -- --smoke # CI-sized
-//! cargo run --release -p dex-bench --bin bench_scenarios -- --threads 1
+//! cargo run --release -p dex-bench --bin bench_scenarios -- --exec-threads 1
 //! ```
 
 use dex::prelude::*;
@@ -35,8 +36,11 @@ fn parse_args() -> Args {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => args.smoke = true,
-            "--threads" => {
-                args.threads = it.next().and_then(|v| v.parse().ok()).expect("--threads N");
+            "--exec-threads" | "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--exec-threads N");
             }
             "--seed" => {
                 args.seed = it.next().and_then(|v| v.parse().ok()).expect("--seed S");
@@ -44,7 +48,9 @@ fn parse_args() -> Args {
             "--trials" => {
                 args.trials = it.next().and_then(|v| v.parse().ok()).expect("--trials R");
             }
-            other => panic!("unknown flag {other:?} (try --smoke / --threads / --seed / --trials)"),
+            other => {
+                panic!("unknown flag {other:?} (try --smoke / --exec-threads / --seed / --trials)")
+            }
         }
     }
     args
@@ -130,9 +136,11 @@ fn main() {
         trials,
         seed: args.seed,
         lambda_every: if args.smoke { 16 } else { 64 },
+        exec: None,
         threads: args.threads,
         // Trials already saturate the fan-out; plan batches inline.
         heal_threads: 1,
+        adaptive_crossover: false,
         check_invariants: args.smoke, // free correctness coverage at toy scale
         // Aggregates come from the compact per-step logs; full traces and
         // StepMetrics records are dead weight at benchmark scale.
@@ -148,6 +156,7 @@ fn main() {
         "  \"config\": {{\"n0\": {n0}, \"trials\": {trials}, \"seed\": {}, \"lambda_every\": {}, \"smoke\": {}}},",
         args.seed, opts.lambda_every, args.smoke
     );
+    let _ = writeln!(json, "  {},", dex_bench::exec_header_json());
     let _ = writeln!(json, "  \"scenarios\": [");
 
     for (i, sc) in lineup.iter().enumerate() {

@@ -665,6 +665,7 @@ pub fn run_heal_bench(opts: &HealBenchOptions) -> String {
         "  \"config\": {{\"smoke\": {}, \"seed\": {}, \"trials\": {trials}}},",
         opts.smoke, opts.seed
     );
+    let _ = writeln!(json, "  {},", crate::exec_header_json());
 
     // --- Φ heal kernel -------------------------------------------------
     let _ = writeln!(json, "  \"phi_kernel\": [");

@@ -85,6 +85,24 @@ pub fn overlay_label(o: &dyn Overlay) -> String {
     o.name().to_string()
 }
 
+/// Executor-environment header fragment for every `BENCH_*.json` emitter:
+/// the machine's `available_parallelism`, the executor's effective thread
+/// budget, and the pool mode. This is what makes flagged Amdahl
+/// projections machine-distinguishable from real multi-core measurements
+/// when a bench is re-run on a bigger box. Deliberately independent of
+/// any `--threads` flag so smoke outputs stay byte-identical across
+/// thread sweeps on one machine.
+pub fn exec_header_json() -> String {
+    format!(
+        "\"exec\": {{\"available_parallelism\": {}, \"thread_budget\": {}, \"pool_mode\": \"{}\"}}",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        dex::exec::thread_budget(),
+        dex::exec::pool_mode()
+    )
+}
+
 /// Render a plain-text table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");

@@ -9,6 +9,17 @@ use dex_bench::batch::{run_batch_bench, BatchBenchOptions};
 fn smoke_json(threads: usize) -> String {
     run_batch_bench(&BatchBenchOptions {
         smoke: true,
+        type2: false,
+        threads,
+        seed: 0xba7c_4d37,
+        alloc_bytes: None,
+    })
+}
+
+fn type2_json(threads: usize) -> String {
+    run_batch_bench(&BatchBenchOptions {
+        smoke: false,
+        type2: true,
         threads,
         seed: 0xba7c_4d37,
         alloc_bytes: None,
@@ -30,6 +41,27 @@ fn smoke_output_is_byte_identical_across_thread_counts() {
         assert_eq!(
             one, other,
             "bench_batch --smoke output differs between --threads 1 and --threads {threads}"
+        );
+    }
+}
+
+#[test]
+fn type2_smoke_output_is_byte_identical_across_thread_counts() {
+    let one = type2_json(1);
+    assert!(
+        one.contains("\"schedule\": \"type2\""),
+        "type-2 schedule marker missing"
+    );
+    assert!(one.contains("\"parity\": true"), "parity check missing");
+    assert!(
+        !one.contains("\"type2_steps\": 0"),
+        "type-2 schedule must actually trigger inflate/deflate"
+    );
+    for threads in [3, 8] {
+        let other = type2_json(threads);
+        assert_eq!(
+            one, other,
+            "bench_batch --type2 output differs between --threads 1 and --threads {threads}"
         );
     }
 }

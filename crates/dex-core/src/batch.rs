@@ -43,7 +43,7 @@ impl DexNetwork {
         self.validate_insert_batch(joins);
         self.step_no += 1;
         self.net.begin_step();
-        let used_type2 = if joins.len() >= PAR_BATCH_MIN {
+        let used_type2 = if joins.len() >= PAR_BATCH_MIN && !self.crossover_to_seq(joins.len()) {
             let mut ops = std::mem::take(&mut self.heal.par.ops);
             ops.clear();
             ops.extend(joins.iter().map(|&(u, v)| BatchOp::Insert { u, v }));
@@ -79,6 +79,29 @@ impl DexNetwork {
                 RecoveryKind::Type1
             },
         )
+    }
+
+    /// Consult the adaptive small-n crossover controller (when enabled)
+    /// for a wave-eligible batch of `ops` ops: `true` routes the batch to
+    /// the sequential path, recording the decision in the step's
+    /// [`StepMetrics::crossover`] flag and the engine stats. The decision
+    /// is a deterministic function of `(n, waved-batch history)` — never
+    /// of the thread count — so either route stays bit-identical across
+    /// threads (and both routes produce identical state by the engine's
+    /// standing contract).
+    fn crossover_to_seq(&mut self, ops: usize) -> bool {
+        if !self.adaptive_crossover {
+            return false;
+        }
+        let n = self.n();
+        if self.heal.par.crossover_route_seq(n) {
+            self.net.note_crossover();
+            self.batch_stats.crossover_batches += 1;
+            self.batch_stats.crossover_ops += ops as u64;
+            true
+        } else {
+            false
+        }
     }
 
     /// Validate the whole batch before touching any state: fan-in per
@@ -138,7 +161,8 @@ impl DexNetwork {
         self.validate_delete_batch(victims);
         self.step_no += 1;
         self.net.begin_step();
-        let used_type2 = if victims.len() >= PAR_BATCH_MIN {
+        let used_type2 = if victims.len() >= PAR_BATCH_MIN && !self.crossover_to_seq(victims.len())
+        {
             let mut ops = std::mem::take(&mut self.heal.par.ops);
             ops.clear();
             ops.extend(victims.iter().map(|&victim| BatchOp::Delete { victim }));

@@ -28,10 +28,13 @@
 //!    already resolves every owner, the finished plan is a **slot
 //!    program**: the exact fabric edge edits as pre-resolved arena slot
 //!    pairs — all `NodeId → slot` hashing is hoisted out of the commit.
-//!    Planning fans out over worker threads via the chunk-deterministic
-//!    [`dex_graph::par::for_chunks_state_mut`] with one pooled
-//!    [`PlanScratch`] per worker; chunk boundaries are fixed, so the plans
-//!    are identical for any thread count.
+//!    Planning fans out over the persistent [`dex_exec`] worker pool via
+//!    the chunk-deterministic [`dex_exec::for_chunks_scratch_mut`], with
+//!    one [`PlanScratch`] living in each pool worker's persistent scratch
+//!    slot — a planning round costs parked-worker handoffs, **zero thread
+//!    spawns and zero scratch construction once warm** (a differential
+//!    test asserts the spawn counter stays flat). Chunk boundaries are
+//!    fixed, so the plans are identical for any thread count.
 //! 2. **Partition (sequential, deterministic).** Scan plans in canonical
 //!    (batch) order and accept the longest prefix whose members are
 //!    pairwise compatible: op j joins the wave iff no slot in its touch
@@ -83,7 +86,6 @@ use crate::dex::DexNetwork;
 use crate::fabric;
 use dex_graph::adjacency::MultiGraph;
 use dex_graph::ids::{NodeId, VertexId};
-use dex_graph::par::for_chunks_state_mut;
 use dex_sim::rng::Purpose;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -140,6 +142,11 @@ pub struct BatchHealStats {
     pub serial_ns: u64,
     /// Log₂ histogram of committed wave sizes.
     pub wave_hist: [u64; WAVE_HIST_BUCKETS],
+    /// Batches the adaptive small-n crossover routed to the sequential
+    /// path (never entered the wave engine).
+    pub crossover_batches: u64,
+    /// Ops inside crossover-routed batches.
+    pub crossover_ops: u64,
 }
 
 impl BatchHealStats {
@@ -613,6 +620,59 @@ pub(crate) struct ParScratch {
     /// waves in front of them are never computed). Deterministic — a pure
     /// function of the committed wave history.
     wave_ema: usize,
+    /// Small-n batches seen by the crossover controller (drives the
+    /// deterministic probe schedule).
+    small_batches: u64,
+    /// EMA of replans per planned op, in milli-replans (integer — the
+    /// controller must be bit-deterministic). Updated after every waved
+    /// batch; a pure function of the waved-batch history.
+    replan_ema_milli: u64,
+    /// Whether `replan_ema_milli` has been seeded by a first observation.
+    ema_seeded: bool,
+}
+
+/// Network size above which the crossover controller always waves: beyond
+/// cache-resident state, planning is profitable regardless of conflicts.
+pub const CROSSOVER_N_MAX: usize = 32_768;
+
+/// Replan-rate threshold (milli-replans per planned op) above which a
+/// small-n batch is routed to the sequential path. PR 4 measured ~0.35
+/// replans/op at n≈20k (overlapping touch sets) vs ~0.05 at 200k+.
+const CROSSOVER_REPLAN_MILLI: u64 = 150;
+
+/// Every `PROBE`-th small-n batch runs waved regardless, keeping the
+/// replan EMA fresh so the controller can exit the sequential regime when
+/// the conflict profile changes. Deterministic: a pure function of the
+/// batch count.
+const CROSSOVER_PROBE_PERIOD: u64 = 16;
+
+impl ParScratch {
+    /// Adaptive small-n crossover: should this batch skip the wave engine
+    /// and run through the sequential path? Keyed on the live network
+    /// size and the observed replan rate (speculation-waste EMA), with a
+    /// deterministic probe schedule — a pure function of `(n, waved-batch
+    /// history)`, so the decision is identical for every thread count.
+    pub(crate) fn crossover_route_seq(&mut self, n: usize) -> bool {
+        if n >= CROSSOVER_N_MAX {
+            return false;
+        }
+        self.small_batches += 1;
+        if !self.ema_seeded || (self.small_batches - 1).is_multiple_of(CROSSOVER_PROBE_PERIOD) {
+            return false; // probe: keep the EMA fresh
+        }
+        self.replan_ema_milli >= CROSSOVER_REPLAN_MILLI
+    }
+
+    /// Fold one waved batch's observed replan rate into the EMA.
+    fn observe_replans(&mut self, replans: u64, ops: usize) {
+        let milli = replans * 1000 / ops.max(1) as u64;
+        if self.ema_seeded {
+            self.replan_ema_milli = (3 * self.replan_ema_milli + milli) / 4;
+        } else {
+            self.replan_ema_milli = milli;
+            self.ema_seeded = true;
+        }
+    }
 }
 
 // ======================================================================
@@ -1120,6 +1180,7 @@ pub(crate) fn run_batch(dex: &mut DexNetwork, threads: usize) -> bool {
     let mut state = std::mem::take(&mut dex.heal.par);
     let ops = std::mem::take(&mut state.ops);
     let mut used_type2 = false;
+    let replans_at_entry = dex.batch_stats.replans;
 
     state.plans.clear();
     state.plans.resize_with(ops.len(), || OpPlan::Stale);
@@ -1152,15 +1213,12 @@ pub(crate) fn run_batch(dex: &mut DexNetwork, threads: usize) -> bool {
             let base = next;
             let plans = &mut state.plans[next..window_end];
             let stale = plans.iter().filter(|p| matches!(p, OpPlan::Stale)).count();
-            // Engage workers only when there is enough stale work to
-            // amortize the per-wave thread spawns, and never oversubscribe
-            // the machine: extra threads on fewer cores only pay spawn and
-            // scheduling overhead (results are identical either way — the
-            // clamp is purely a throughput guard).
-            let workers = threads
-                .min(stale.div_ceil(PLAN_CHUNK))
-                .min(dex_graph::par::default_threads())
-                .max(1);
+            // Engage workers only when there is enough stale work to fill
+            // their chunks (results are identical either way — the clamp
+            // is purely a throughput guard). With the persistent pool a
+            // fan-out costs parked-worker handoffs, not spawns, so the
+            // requested thread count is honored even above the core count.
+            let workers = threads.min(stale.div_ceil(PLAN_CHUNK)).max(1);
             let plan_chunk = |start: usize, chunk: &mut [OpPlan], ps: &mut PlanScratch| {
                 // Depth-2 entry pipeline: resolve + prefetch op i+2's
                 // entry record, row-prefetch op i+1, plan op i.
@@ -1180,7 +1238,13 @@ pub(crate) fn run_batch(dex: &mut DexNetwork, threads: usize) -> bool {
             if workers <= 1 {
                 plan_chunk(0, plans, &mut inline_scratch);
             } else {
-                for_chunks_state_mut(plans, workers, PLAN_CHUNK, PlanScratch::new, plan_chunk);
+                // Persistent pool + persistent per-worker scratch slots:
+                // once warm, a planning round spawns no threads and builds
+                // no scratch — workers are handed their fixed chunk spans
+                // and reuse the PlanScratch living in their TLS slot.
+                dex_exec::for_chunks_scratch_mut::<_, PlanScratch, _>(
+                    plans, workers, PLAN_CHUNK, plan_chunk,
+                );
             }
         }
         dex.batch_stats.plan_ns += t_plan.elapsed().as_nanos() as u64;
@@ -1265,6 +1329,9 @@ pub(crate) fn run_batch(dex: &mut DexNetwork, threads: usize) -> bool {
         }
         dex.batch_stats.partition_ns += t_inval.elapsed().as_nanos() as u64;
     }
+
+    // Feed the crossover controller: replans per planned op this batch.
+    state.observe_replans(dex.batch_stats.replans - replans_at_entry, ops.len());
 
     // Reclaim every plan's buffers for the next batch.
     for plan in state.plans.drain(..) {
@@ -1410,6 +1477,47 @@ mod tests {
         // Out-of-range slots (created mid-batch) are never tracked.
         t.mark_write(100);
         assert!(!t.written(100));
+    }
+
+    #[test]
+    fn crossover_controller_probes_then_engages_on_high_replan_rate() {
+        let mut s = ParScratch::default();
+        // Large n never crosses over and never consumes the probe budget.
+        assert!(!s.crossover_route_seq(CROSSOVER_N_MAX));
+        assert!(!s.crossover_route_seq(1_000_000));
+        assert_eq!(s.small_batches, 0);
+        // First small-n batch is an unconditional probe (EMA unseeded).
+        assert!(!s.crossover_route_seq(20_000));
+        s.observe_replans(35, 100); // 0.35 replans/op — the 20k regime
+                                    // Now the controller engages the sequential route...
+        assert!(s.crossover_route_seq(20_000));
+        assert!(s.crossover_route_seq(20_000));
+        // ...but keeps probing on its deterministic schedule.
+        let mut probed = 0;
+        for _ in 0..CROSSOVER_PROBE_PERIOD {
+            if !s.crossover_route_seq(20_000) {
+                probed += 1;
+            }
+        }
+        assert_eq!(probed, 1, "exactly one probe per period");
+        // A calm conflict profile releases the crossover after the EMA
+        // decays below the threshold.
+        for _ in 0..8 {
+            s.observe_replans(0, 100);
+        }
+        assert!(s.replan_ema_milli < CROSSOVER_REPLAN_MILLI);
+        assert!(!s.crossover_route_seq(20_000));
+    }
+
+    #[test]
+    fn replan_ema_is_seeded_then_smoothed() {
+        let mut s = ParScratch::default();
+        s.observe_replans(100, 100); // seed at 1000 milli
+        assert_eq!(s.replan_ema_milli, 1000);
+        s.observe_replans(0, 100);
+        assert_eq!(s.replan_ema_milli, 750);
+        s.observe_replans(20, 10); // 2000 milli
+        assert_eq!(s.replan_ema_milli, (3 * 750 + 2000) / 4);
     }
 
     #[test]

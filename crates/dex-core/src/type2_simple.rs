@@ -61,12 +61,16 @@ fn inverse_edge_routing(dex: &mut DexNetwork, inflating: bool, new_cycle: &PCycl
     // Pairs whose sources live on the same node are local and free.
     let mut pairs = pairs;
     pairs.retain(|&(a, b)| dex.map.owner_of(a) != dex.map.owner_of(b));
+    // The permutation resolution fans out over the executor pool (the
+    // bulk of the rebuild's simulator work); charges are bit-identical
+    // for any thread count.
     crate::routing::route_pairs_with(
         &mut dex.net,
         &dex.map,
         &dex.cycle,
         &pairs,
         1,
+        dex.heal_threads,
         &mut dex.heal.route,
     );
 }
@@ -89,15 +93,28 @@ pub fn inflate(dex: &mut DexNetwork, pending: Option<(NodeId, NodeId)>) {
     flood_count(&mut dex.net, root, |_| false);
 
     // Phase 1: every node locally replaces each owned vertex x by its
-    // cloud (Eq. 6–8). Local computation is free.
+    // cloud (Eq. 6–8). Local computation is free in the model; the
+    // simulator stages the dense Φ entry re-scan and fans the per-entry
+    // cloud arithmetic over the executor pool, then applies the runs to
+    // the new Φ sequentially in canonical (vertex-ascending) order —
+    // bit-identical to the inline scan for any thread count. Clouds are
+    // contiguous (Eq. 7): one run assignment per old vertex — a single
+    // owner-slot resolution and sequential dense writes instead of α
+    // separate assigns.
+    let mut runs = std::mem::take(&mut dex.heal.cloud_runs);
+    runs.clear();
+    runs.extend(dex.map.entries().map(|(z, owner)| (z.0, 0u64, owner)));
+    dex_exec::for_chunks_mut(&mut runs, dex.heal_threads, |_, chunk| {
+        for r in chunk {
+            let (start, len) = resize::inflation_cloud_range(r.0, p_old, p_new);
+            (r.0, r.1) = (start, len);
+        }
+    });
     let mut new_map = VirtualMapping::with_vertex_capacity(dex.cfg.zeta, p_new);
-    for (z, owner) in dex.map.entries() {
-        // Clouds are contiguous (Eq. 7): one run assignment per old
-        // vertex — a single owner-slot resolution and sequential dense
-        // writes instead of α separate assigns.
-        let (start, len) = resize::inflation_cloud_range(z.0, p_old, p_new);
+    for &(start, len, owner) in &runs {
         new_map.assign_run(VertexId(start), len, owner);
     }
+    dex.heal.cloud_runs = runs;
     // Cycle edges come from the old cycle's edges: O(1) rounds, one
     // message per old cycle edge per direction.
     dex.net.charge_rounds(2);
@@ -145,13 +162,27 @@ pub fn deflate(dex: &mut DexNetwork, root: NodeId) {
     flood_count(&mut dex.net, root, |_| false);
 
     // Phase 1: dominating vertices survive (y = ⌊x/α⌋, smallest preimage
-    // keeps it); everything else is contracted away.
+    // keeps it); everything else is contracted away. As in `inflate`, the
+    // entry re-scan is staged and the dominating-image arithmetic fans
+    // out over the executor pool; survivors are assigned sequentially in
+    // canonical order (bit-identical for any thread count).
+    let mut runs = std::mem::take(&mut dex.heal.cloud_runs);
+    runs.clear();
+    runs.extend(dex.map.entries().map(|(z, owner)| (z.0, 0u64, owner)));
+    dex_exec::for_chunks_mut(&mut runs, dex.heal_threads, |_, chunk| {
+        for r in chunk {
+            if resize::is_dominating(r.0, p_old, p_new) {
+                (r.0, r.1) = (resize::deflation_image(r.0, p_old, p_new), 1);
+            }
+        }
+    });
     let mut new_map = VirtualMapping::with_vertex_capacity(dex.cfg.zeta, p_new);
-    for (z, owner) in dex.map.entries() {
-        if resize::is_dominating(z.0, p_old, p_new) {
-            new_map.assign(VertexId(resize::deflation_image(z.0, p_old, p_new)), owner);
+    for &(image, keep, owner) in &runs {
+        if keep == 1 {
+            new_map.assign(VertexId(image), owner);
         }
     }
+    dex.heal.cloud_runs = runs;
     dex.net.charge_rounds(2);
     dex.net.charge_messages(2 * p_old);
     inverse_edge_routing(dex, false, &new_cycle);

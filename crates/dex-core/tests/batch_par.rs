@@ -354,6 +354,98 @@ fn disjoint_batches_actually_wave() {
     invariants::assert_ok(&waved);
 }
 
+/// Batches that trigger the type-2 switchover (inflate via spare
+/// exhaustion under pure growth, then deflate under pure shrink) must
+/// stay bit-identical to the sequential oracle at every planner thread
+/// count: the rebuild itself now fans out over the executor pool
+/// (permutation resolution, cloud-assignment staging), so this is the
+/// waved-type-2 determinism contract end to end.
+fn run_type2_script(threads: usize) {
+    let (mut waved, mut oracle) = bootstrap_pair(48, 0x7e2);
+    waved.set_heal_threads(threads);
+    let mut script = Script::new(&waved, 0x7e2);
+
+    // Growth phase: batch inserts until inflation has fired (hard cap so
+    // a regression cannot loop forever).
+    let mut grew = 0;
+    while waved.walk_stats.type2 == 0 && grew < 80 {
+        let joins = script.joins_for(Step::Inserts(16)).unwrap();
+        let mw = waved.insert_batch(&joins);
+        let mo = oracle.insert_batch_seq(&joins);
+        script.live.extend(joins.iter().map(|&(u, _)| u));
+        assert_metrics_match(&mw, &mo);
+        grew += 1;
+    }
+    assert!(
+        waved.walk_stats.type2 > 0,
+        "growth phase must trigger an inflation"
+    );
+    assert_networks_identical(&waved, &oracle);
+
+    // Shrink phase: batch deletes until deflation has fired too. Victims
+    // are drawn directly (no safety floor — healing restores the fabric
+    // victim-by-victim, so the network stays connected all the way down
+    // to the deflation regime where nearly every node is overloaded).
+    let type2_after_growth = waved.walk_stats.type2;
+    let mut shrank = 0;
+    while waved.walk_stats.type2 == type2_after_growth && shrank < 200 {
+        let n = script.live.len();
+        assert!(n > 14, "ran out of nodes before a deflation fired");
+        let k = 8.min(n - 14);
+        let mut victims: Vec<NodeId> = Vec::with_capacity(k);
+        while victims.len() < k {
+            let v = script.pick_live();
+            if !victims.contains(&v) {
+                victims.push(v);
+            }
+        }
+        script.live.retain(|u| !victims.contains(u));
+        let mw = waved.delete_batch(&victims);
+        let mo = oracle.delete_batch_seq(&victims);
+        assert_metrics_match(&mw, &mo);
+        shrank += 1;
+    }
+    assert!(
+        waved.walk_stats.type2 > type2_after_growth,
+        "shrink phase must trigger a deflation (threads={threads})"
+    );
+    assert_networks_identical(&waved, &oracle);
+    invariants::assert_ok(&waved);
+}
+
+#[test]
+fn type2_triggering_batches_match_sequential_across_thread_counts() {
+    for threads in [1, 3, 8] {
+        run_type2_script(threads);
+    }
+}
+
+/// Warm-pool contract on the real engine: after the executor pool is
+/// saturated, whole batch steps — planning waves, commits, replans —
+/// spawn zero threads.
+#[test]
+fn warm_pool_batch_steps_spawn_no_threads() {
+    dex_exec::prewarm(dex_exec::MAX_WORKERS);
+    let spawned = dex_exec::total_spawns();
+    let (mut waved, _) = bootstrap_pair(512, 0x90a);
+    waved.set_heal_threads(8);
+    let mut script = Script::new(&waved, 0x90a);
+    for _ in 0..6 {
+        let joins = script.joins_for(Step::Inserts(24)).unwrap();
+        waved.insert_batch(&joins);
+        script.live.extend(joins.iter().map(|&(u, _)| u));
+        let victims = script.victims_for(Step::Deletes(16), &waved);
+        if let Some(victims) = victims {
+            waved.delete_batch(&victims);
+        }
+    }
+    assert_eq!(
+        dex_exec::total_spawns(),
+        spawned,
+        "planning waves on a warm pool must not spawn threads"
+    );
+}
+
 /// Deleting a whole neighborhood forces maximal touch-set overlap; the
 /// engine must stay correct when nearly everything conflicts and replans.
 #[test]

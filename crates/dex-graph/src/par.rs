@@ -1,4 +1,5 @@
-//! Deterministic chunked parallelism for dense numeric loops.
+//! Deterministic chunked parallelism for dense numeric loops — a thin
+//! facade over the persistent [`dex_exec`] worker pool.
 //!
 //! The spectral engine parallelizes two shapes of work: disjoint writes
 //! (mat-vec output rows) and reductions (dots, norms). Both are chunked on
@@ -7,19 +8,17 @@
 //! bit-identical for any thread count, including 1. A determinism test in
 //! `spectral` enforces this.
 //!
-//! Workers are std scoped threads spawned **per call** — there is no pool,
-//! so every parallel invocation pays thread-spawn cost. Callers must only
-//! engage `threads > 1` when the per-call work clearly dominates that cost
-//! (the spectral engine gates on [`PAR_MIN_LEN`] rows); on single-core
-//! hosts [`default_threads`] degrades everything to sequential execution.
+//! Workers come from the process-wide `dex-exec` pool: threads are spawned
+//! lazily at most once per process, park between jobs, and are handed work
+//! by mailbox — a parallel section costs a few condvar handoffs, not
+//! thread spawns (`dex_exec::total_spawns` lets tests assert zero spawns
+//! after warm-up). Callers should still only engage `threads > 1` when the
+//! per-call work clearly dominates a handoff (the spectral engine gates on
+//! [`PAR_MIN_LEN`] rows); [`default_threads`] resolves to the executor's
+//! global thread budget (`DEX_EXEC_THREADS` override, else available
+//! parallelism).
 
-/// Fixed chunk length for numeric loops (elements, not bytes).
-pub const CHUNK: usize = 4096;
-
-/// Minimum problem size (rows/elements per call) before callers should
-/// hand `threads > 1` to these helpers: below this, per-call thread spawn
-/// costs more than the loop itself.
-pub const PAR_MIN_LEN: usize = 16 * CHUNK;
+pub use dex_exec::{CHUNK, PAR_MIN_LEN};
 
 /// Hint the CPU to pull the cache line at `p` toward L1 (x86_64
 /// `prefetcht0`; a no-op elsewhere). Safe for any address — prefetches
@@ -42,41 +41,28 @@ pub fn prefetch_read<T>(p: *const T) {
     let _ = p;
 }
 
-/// Worker threads to use by default: available parallelism clamped to
-/// [1, 16].
+/// Worker threads to use by default: the executor's global thread budget
+/// (`DEX_EXEC_THREADS` when set, else available parallelism, clamped to
+/// `[1, 16]`).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .clamp(1, 16)
+    dex_exec::thread_budget()
 }
 
 /// Apply `f(start_index, chunk)` to consecutive [`CHUNK`]-sized pieces of
-/// `data`, possibly in parallel. Chunk boundaries do not depend on
-/// `threads`, and chunks never overlap, so any per-element result is
-/// computed exactly once, by exactly one worker, from the same inputs.
+/// `data`, possibly in parallel on the pool. Chunk boundaries do not
+/// depend on `threads`, and chunks never overlap, so any per-element
+/// result is computed exactly once, by exactly one worker, from the same
+/// inputs.
 pub fn for_chunks_mut<T, F>(data: &mut [T], threads: usize, f: F)
 where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
-    for_chunks_state_mut(
-        data,
-        threads,
-        CHUNK,
-        || (),
-        |start, chunk, ()| f(start, chunk),
-    );
+    dex_exec::for_chunks_mut(data, threads, f);
 }
 
 /// [`for_chunks_mut`] with a caller-chosen fixed chunk size and a
-/// per-worker scratch state.
-///
-/// `init()` runs once per worker (once total in the sequential fallback)
-/// and the resulting state is threaded through every chunk that worker
-/// processes — the shape heal planning needs: expensive pooled buffers
-/// (overlay maps, visited lists) are built once per worker and reused
-/// across that worker's chunks, not rebuilt per element.
+/// per-worker state built by `init` (once per engaged worker per call).
 ///
 /// Determinism contract, same as [`for_chunks_mut`]: chunk boundaries
 /// depend only on `chunk_size` (never on `threads`), chunks are disjoint,
@@ -95,37 +81,7 @@ pub fn for_chunks_state_mut<T, S, I, F>(
     I: Fn() -> S + Sync,
     F: Fn(usize, &mut [T], &mut S) + Sync,
 {
-    assert!(chunk_size > 0, "chunk_size must be positive");
-    let n = data.len();
-    if threads <= 1 || n <= chunk_size {
-        let mut state = init();
-        for (c, chunk) in data.chunks_mut(chunk_size).enumerate() {
-            f(c * chunk_size, chunk, &mut state);
-        }
-        return;
-    }
-    let n_chunks = n.div_ceil(chunk_size);
-    let workers = threads.min(n_chunks);
-    let chunks_per_worker = n_chunks.div_ceil(workers);
-    let span = chunks_per_worker * chunk_size;
-    std::thread::scope(|s| {
-        let f = &f;
-        let init = &init;
-        let mut rest = data;
-        let mut offset = 0usize;
-        while !rest.is_empty() {
-            let take = span.min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            s.spawn(move || {
-                let mut state = init();
-                for (c, chunk) in head.chunks_mut(chunk_size).enumerate() {
-                    f(offset + c * chunk_size, chunk, &mut state);
-                }
-            });
-            rest = tail;
-            offset += take;
-        }
-    });
+    dex_exec::for_chunks_state_mut(data, threads, chunk_size, init, f);
 }
 
 /// Chunked reduction: `partial(lo, hi)` produces the partial sum of the
@@ -136,42 +92,7 @@ pub fn reduce_chunks<F>(n: usize, threads: usize, partial: F) -> f64
 where
     F: Fn(usize, usize) -> f64 + Sync,
 {
-    if n == 0 {
-        return 0.0;
-    }
-    let n_chunks = n.div_ceil(CHUNK);
-    let mut partials = vec![0.0f64; n_chunks];
-    let workers = threads.min(n_chunks);
-    if workers <= 1 {
-        for (c, slot) in partials.iter_mut().enumerate() {
-            let lo = c * CHUNK;
-            *slot = partial(lo, (lo + CHUNK).min(n));
-        }
-    } else {
-        // Split the partials across workers directly — each worker owns a
-        // contiguous run of chunk indices. (Routing this through
-        // `for_chunks_mut` would re-chunk the *partials* array by CHUNK
-        // and never parallelize until n_chunks itself exceeded CHUNK.)
-        let per_worker = n_chunks.div_ceil(workers);
-        std::thread::scope(|s| {
-            let partial = &partial;
-            let mut rest: &mut [f64] = &mut partials;
-            let mut first_chunk = 0usize;
-            while !rest.is_empty() {
-                let take = per_worker.min(rest.len());
-                let (head, tail) = rest.split_at_mut(take);
-                s.spawn(move || {
-                    for (i, slot) in head.iter_mut().enumerate() {
-                        let lo = (first_chunk + i) * CHUNK;
-                        *slot = partial(lo, (lo + CHUNK).min(n));
-                    }
-                });
-                rest = tail;
-                first_chunk += take;
-            }
-        });
-    }
-    partials.iter().sum()
+    dex_exec::reduce_chunks(n, threads, partial)
 }
 
 #[cfg(test)]

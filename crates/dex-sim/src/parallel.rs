@@ -1,10 +1,13 @@
-//! Deterministic fork-join parallelism helpers (std scoped threads).
+//! Deterministic fork-join parallelism helpers — a thin facade over the
+//! persistent [`dex_exec`] worker pool.
 //!
 //! Used by the measurement harness for embarrassingly parallel work such as
 //! computing spectral gaps over hundreds of topology snapshots, or driving
 //! thousands of independent random walks. Output order always equals input
 //! order and results never depend on the thread count, so parallel and
 //! sequential runs are interchangeable — determinism tests enforce it.
+//! Workers are parked pool threads (spawned lazily at most once per
+//! process), so a trial fan-out costs mailbox handoffs, not thread spawns.
 
 use dex_graph::adjacency::MultiGraph;
 use dex_graph::ids::NodeId;
@@ -23,33 +26,7 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let n = items.len();
-    if threads <= 1 || n < 2 {
-        return items.iter().map(&f).collect();
-    }
-    let workers = threads.min(n);
-    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
-    let chunk = n.div_ceil(workers);
-    std::thread::scope(|s| {
-        let mut rest: &mut [Option<U>] = &mut out;
-        let mut offset = 0usize;
-        let f = &f;
-        while !rest.is_empty() {
-            let take = chunk.min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            let slice_items = &items[offset..offset + take];
-            s.spawn(move || {
-                for (slot, item) in head.iter_mut().zip(slice_items) {
-                    *slot = Some(f(item));
-                }
-            });
-            rest = tail;
-            offset += take;
-        }
-    });
-    out.into_iter()
-        .map(|o| o.expect("all slots filled"))
-        .collect()
+    dex_exec::par_map(items, threads, f)
 }
 
 /// One batch-walk job: start node, walk length, and an RNG seed. Seeds are
@@ -83,13 +60,11 @@ pub fn par_walk_endpoints(g: &MultiGraph, jobs: &[WalkJob], threads: usize) -> V
     })
 }
 
-/// Number of worker threads to use by default: available parallelism
-/// clamped to [1, 16].
+/// Number of worker threads to use by default: the executor's global
+/// thread budget (`DEX_EXEC_THREADS` when set, else available
+/// parallelism, clamped to [1, 16]).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .clamp(1, 16)
+    dex_exec::thread_budget()
 }
 
 #[cfg(test)]

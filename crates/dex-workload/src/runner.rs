@@ -37,14 +37,24 @@ pub struct RunOptions {
     pub seed: u64,
     /// Sample λ₂ every this many actions (0 disables the trajectory).
     pub lambda_every: usize,
-    /// Worker threads for the trial fan-out.
+    /// The one executor knob: worker threads for **both** the trial
+    /// fan-out and the in-network batch-heal planner, resolved through
+    /// the shared [`dex_exec`] pool (`None`/`ExecConfig::AUTO` → the
+    /// global thread budget). When set, it overrides the deprecated
+    /// `threads`/`heal_threads` aliases below. Purely a throughput knob —
+    /// results are bit-identical for any value.
+    pub exec: Option<dex_exec::ExecConfig>,
+    /// Deprecated alias: worker threads for the trial fan-out. Ignored
+    /// when `exec` is set; prefer `exec`.
     pub threads: usize,
-    /// Planner threads for the in-network parallel batch-heal engine
-    /// (`dex_core::parheal`): scenario `BatchInsert`/`BatchDelete`
-    /// actions of ≥ 8 ops are healed in conflict-free waves, planned over
-    /// this many workers. Purely a throughput knob — trial results are
-    /// bit-identical for any value (the same contract as `threads`).
+    /// Deprecated alias: planner threads for the in-network parallel
+    /// batch-heal engine (`dex_core::parheal`). Ignored when `exec` is
+    /// set; prefer `exec`.
     pub heal_threads: usize,
+    /// Enable the adaptive small-n crossover on every trial network
+    /// (deterministic controller routing cache-resident batches to the
+    /// sequential heal path; decision visible in `StepMetrics::crossover`).
+    pub adaptive_crossover: bool,
     /// Assert the full structural invariants after every action
     /// (O(n) per step — test-scale only).
     pub check_invariants: bool,
@@ -64,12 +74,28 @@ impl Default for RunOptions {
             trials: 4,
             seed: 0xd5c0,
             lambda_every: 32,
+            exec: None,
             threads: default_threads(),
             heal_threads: 1,
+            adaptive_crossover: false,
             check_invariants: false,
             keep_actions: true,
             keep_step_metrics: true,
         }
+    }
+}
+
+impl RunOptions {
+    /// Effective trial fan-out width: the executor config when set, else
+    /// the legacy `threads` alias.
+    pub fn trial_threads(&self) -> usize {
+        self.exec.map(|e| e.resolve()).unwrap_or(self.threads)
+    }
+
+    /// Effective in-network planner width: the executor config when set,
+    /// else the legacy `heal_threads` alias.
+    pub fn planner_threads(&self) -> usize {
+        self.exec.map(|e| e.resolve()).unwrap_or(self.heal_threads)
     }
 }
 
@@ -117,7 +143,7 @@ pub fn trial_seed(master: u64, t: usize) -> u64 {
 /// Run every trial of a scenario, fanned out over `opts.threads` workers.
 pub fn run_trials(sc: &Scenario, opts: &RunOptions) -> Vec<TrialReport> {
     let idx: Vec<usize> = (0..opts.trials).collect();
-    par_map(&idx, opts.threads, |&t| {
+    par_map(&idx, opts.trial_threads(), |&t| {
         run_scenario(sc, opts.n0, trial_seed(opts.seed, t), t, opts)
     })
 }
@@ -156,7 +182,8 @@ pub fn run_scenario(
     // The trial streams its own compact log; the inner network need not
     // hold a second copy of every step.
     t.dex.net.set_history_mode(HistoryMode::Off);
-    t.dex.set_heal_threads(opts.heal_threads);
+    t.dex.set_heal_threads(opts.planner_threads());
+    t.dex.set_adaptive_crossover(opts.adaptive_crossover);
     t.sample_lambda();
     for phase in &sc.phases {
         t.run_phase(phase);
@@ -385,8 +412,10 @@ mod tests {
             trials: 3,
             seed: 42,
             lambda_every: 16,
+            exec: None,
             threads: 2,
             heal_threads: 2,
+            adaptive_crossover: false,
             check_invariants: true,
             keep_actions: true,
             keep_step_metrics: true,
@@ -430,6 +459,66 @@ mod tests {
                 );
             }
         }
+        // The unified executor config overrides both deprecated aliases
+        // and — being a pure throughput knob — changes nothing either.
+        o.threads = 1;
+        o.heal_threads = 1;
+        o.exec = Some(dex_exec::ExecConfig::with_threads(3));
+        assert_eq!(o.trial_threads(), 3);
+        assert_eq!(o.planner_threads(), 3);
+        let exec = run_trials(&sc, &o);
+        for (a, b) in seq.iter().zip(exec.iter()) {
+            assert_eq!(a.actions, b.actions, "exec config");
+            assert_eq!(a.lambda2, b.lambda2, "exec config");
+        }
+    }
+
+    #[test]
+    fn adaptive_crossover_changes_route_not_results() {
+        // Wave-eligible batches (≥ 8 ops) at cache-resident n: the
+        // controller's regime. Heavy touch-set overlap at this scale keeps
+        // the replan EMA above the crossover threshold.
+        let sc = Scenario::new("crossover")
+            .phase(Phase::FlashCrowd {
+                waves: 6,
+                wave_size: 12,
+            })
+            .phase(Phase::CorrelatedDelete {
+                bursts: 4,
+                burst_size: 10,
+                targeting: Targeting::Neighborhood,
+                replenish: true,
+            });
+        let mut o = opts();
+        o.check_invariants = false;
+        let base = run_trials(&sc, &o);
+        o.adaptive_crossover = true;
+        let crossed = run_trials(&sc, &o);
+        for (a, b) in base.iter().zip(crossed.iter()) {
+            assert_eq!(a.actions, b.actions);
+            assert_eq!(a.lambda2, b.lambda2);
+            assert_eq!(
+                a.metrics.iter().map(|m| m.messages).collect::<Vec<_>>(),
+                b.metrics.iter().map(|m| m.messages).collect::<Vec<_>>(),
+                "crossover must not change charged costs"
+            );
+        }
+        // At n≈24 every wave-eligible batch is in the small-n regime, so
+        // after the first probe the controller's decisions appear in the
+        // step stream (the probe schedule keeps at least one waved batch).
+        let crossed_steps: usize = crossed
+            .iter()
+            .map(|r| r.metrics.iter().filter(|m| m.crossover).count())
+            .sum();
+        assert!(
+            crossed_steps > 0,
+            "small-n batches must engage the crossover"
+        );
+        let base_steps: usize = base
+            .iter()
+            .map(|r| r.metrics.iter().filter(|m| m.crossover).count())
+            .sum();
+        assert_eq!(base_steps, 0, "crossover is opt-in");
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   spectral analysis, exact expansion;
 //! * [`sim`] — the synchronous CONGEST simulator substrate (metered
 //!   rounds / messages / topology changes);
+//! * [`exec`] — the persistent deterministic executor every parallel
+//!   section in the stack fans out over (worker pool, thread budget,
+//!   per-worker scratch slots);
 //! * [`core`] — the DEX algorithm: type-1 recovery, simplified and
 //!   staggered type-2 recovery, the DHT, batch churn, invariant checkers;
 //! * [`adversary`] — adaptive attack strategies and churn traces;
@@ -43,6 +46,7 @@
 pub use dex_adversary as adversary;
 pub use dex_baselines as baselines;
 pub use dex_core as core;
+pub use dex_exec as exec;
 pub use dex_graph as graph;
 pub use dex_services as services;
 pub use dex_sim as sim;
@@ -58,6 +62,7 @@ pub mod prelude {
         flooding::Flooding, law_siu::LawSiu, naive_patch::NaivePatch, skip_lite::SkipLite, Overlay,
     };
     pub use dex_core::{invariants, DexConfig, DexNetwork, RecoveryMode};
+    pub use dex_exec::ExecConfig;
     pub use dex_graph::ids::{NodeId, VertexId};
     pub use dex_graph::pcycle::PCycle;
     pub use dex_graph::spectral;
