@@ -86,6 +86,7 @@ use crate::dex::DexNetwork;
 use crate::fabric;
 use dex_graph::adjacency::MultiGraph;
 use dex_graph::ids::{NodeId, VertexId};
+use dex_graph::walks::{run_interleaved, WalkLane};
 use dex_sim::rng::Purpose;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -173,6 +174,7 @@ pub(crate) enum BatchOp {
 }
 
 /// A speculative heal plan for one op (or the reason it cannot be waved).
+#[cfg_attr(test, derive(Debug, PartialEq))]
 enum OpPlan {
     /// Not planned against the current state (fresh, or invalidated by a
     /// committed wave).
@@ -194,6 +196,7 @@ enum OpPlan {
 /// Planned insert: walk outcome, donated vertex, and the fabric edit as a
 /// pre-resolved slot program (≤ 3 instances; the newcomer's side of a
 /// re-add is [`NEW_SLOT`]).
+#[cfg_attr(test, derive(Debug, PartialEq))]
 struct InsertPlan {
     hit: NodeId,
     hit_slot: u32,
@@ -214,6 +217,7 @@ struct InsertPlan {
 /// Planned delete: rescuer election, one planned walk outcome per adopted
 /// vertex (in `Sim(victim)` order), and the whole fabric edit as one flat
 /// slot program.
+#[cfg_attr(test, derive(Debug, PartialEq))]
 struct DeletePlan {
     rescuer: NodeId,
     /// Destination of vertex `i` of the victim's `Sim` set.
@@ -743,6 +747,152 @@ fn prefetch_plan_row(dex: &DexNetwork, op: BatchOp) {
     }
 }
 
+/// One insert walk in flight in the K-way interleaved planner: replays
+/// [`plan_insert`]'s walk loop — same keyed RNG stream, same `reads`
+/// trace, same spare test — while the engine schedules *when* each hop's
+/// adjacency row is read.
+struct InsertLane<'d> {
+    dex: &'d DexNetwork,
+    rng: StdRng,
+    walk_len: u64,
+    hops: u64,
+    hit: Option<u32>,
+    reads: Vec<u32>,
+}
+
+impl WalkLane for InsertLane<'_> {
+    fn choose(&mut self, g: &MultiGraph, _slot: u32, nbrs: &[u32]) -> Option<u32> {
+        if self.hops >= self.walk_len {
+            return None;
+        }
+        let next = reservoir_step(g, nbrs, &mut self.rng)?;
+        self.hops += 1;
+        Some(next)
+    }
+
+    fn arrive(&mut self, g: &MultiGraph, slot: u32) -> bool {
+        self.reads.push(slot);
+        if self.dex.map.is_spare(g.id_of_slot(slot)) {
+            self.hit = Some(slot);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn prefetch_hint(&mut self, g: &MultiGraph, slot: u32) {
+        // The spare test at arrival reads the Φ map's node meta; start
+        // that line alongside the adjacency row (the slot record itself
+        // is resident from the previous pipeline stage).
+        self.dex.map.prefetch_node(g.id_of_slot(slot));
+    }
+}
+
+/// Scalar planner for one chunk of ops (`chunk[i]` plans op
+/// `ops[first + i]`): depth-2 entry pipeline — resolve + prefetch op
+/// i+2's entry record, row-prefetch op i+1, plan op i.
+fn plan_chunk_scalar(
+    dex: &DexNetwork,
+    ops: &[BatchOp],
+    first: usize,
+    walk_len: u64,
+    chunk: &mut [OpPlan],
+    ps: &mut PlanScratch,
+) {
+    let len = chunk.len();
+    for (off, slot) in chunk.iter_mut().enumerate() {
+        if off + 2 < len {
+            prefetch_plan_entry(dex, ops[first + off + 2]);
+        }
+        if off + 1 < len {
+            prefetch_plan_row(dex, ops[first + off + 1]);
+        }
+        if matches!(slot, OpPlan::Stale) {
+            *slot = plan_op(dex, ops[first + off], walk_len, ps);
+        }
+    }
+}
+
+/// Memory-level-parallel planner for one chunk: phase 1 drives every
+/// stale insert's walk through the K-way interleaved engine — ~K walks
+/// advance round-robin, each one's next adjacency row prefetched while
+/// the others consume already-resident lines — then phase 2 finishes the
+/// insert plans from the recorded outcomes and plans deletes (whose
+/// redistribution walks run over a per-op overlay and therefore stay
+/// serial within the op) under the retained depth-2 entry pipeline.
+///
+/// Bit-identical to [`plan_chunk_scalar`]: every walk owns its keyed RNG
+/// stream, so interleaving permutes only the wall-clock order of row
+/// reads, never a draw — a differential test compares whole plans.
+fn plan_chunk_interleaved(
+    dex: &DexNetwork,
+    ops: &[BatchOp],
+    first: usize,
+    walk_len: u64,
+    chunk: &mut [OpPlan],
+    ps: &mut PlanScratch,
+) {
+    let g = dex.net.graph();
+    // ---- phase 1: fan the stale inserts' walks K-way -----------------
+    let mut lanes: Vec<InsertLane> = Vec::with_capacity(chunk.len());
+    let mut starts: Vec<u32> = Vec::with_capacity(chunk.len());
+    for (off, slot) in chunk.iter_mut().enumerate() {
+        if !matches!(slot, OpPlan::Stale) {
+            continue;
+        }
+        if let BatchOp::Insert { u, v } = ops[first + off] {
+            let Some(start) = g.slot_of(v) else {
+                // Chained join: the attach point is an earlier newcomer
+                // of this batch that has not committed yet.
+                *slot = OpPlan::Blocked;
+                continue;
+            };
+            let mut reads = ps.pool.get_u32();
+            reads.push(start);
+            lanes.push(InsertLane {
+                dex,
+                rng: dex
+                    .seeds
+                    .stream(Purpose::InsertWalk, &[dex.step_no, u.0, 0]),
+                walk_len,
+                hops: 0,
+                hit: None,
+                reads,
+            });
+            starts.push(start);
+        }
+    }
+    run_interleaved(g, &mut lanes, &starts, dex_graph::par::walk_pipeline_k());
+    // ---- phase 2: finish plans in op order ---------------------------
+    let len = chunk.len();
+    let mut lane = lanes.into_iter();
+    for (off, slot) in chunk.iter_mut().enumerate() {
+        // Deletes keep the depth-2 entry pipeline; insert entries were
+        // already streamed through the engine in phase 1.
+        if off + 2 < len {
+            if let op @ BatchOp::Delete { .. } = ops[first + off + 2] {
+                prefetch_plan_entry(dex, op);
+            }
+        }
+        if off + 1 < len {
+            if let op @ BatchOp::Delete { .. } = ops[first + off + 1] {
+                prefetch_plan_row(dex, op);
+            }
+        }
+        if !matches!(slot, OpPlan::Stale) {
+            continue;
+        }
+        *slot = match ops[first + off] {
+            BatchOp::Insert { .. } => {
+                let l = lane.next().expect("one lane per stale insert");
+                plan_insert_finish(dex, l.hit, l.hops, l.reads, ps)
+            }
+            BatchOp::Delete { victim } => plan_delete(dex, victim, walk_len, ps),
+        };
+    }
+    debug_assert!(lane.next().is_none(), "all insert lanes consumed");
+}
+
 fn plan_insert(
     dex: &DexNetwork,
     u: NodeId,
@@ -757,7 +907,6 @@ fn plan_insert(
         return OpPlan::Blocked;
     };
     let mut reads: Vec<u32> = scratch.pool.get_u32();
-    let mut writes: Vec<u32> = scratch.pool.get_u32();
     reads.push(start);
     // Exactly `heal_one_insert`, attempt 0: walk from the attach point
     // with the stream keyed by the newcomer id.
@@ -779,12 +928,28 @@ fn plan_insert(
             break;
         }
     }
+    plan_insert_finish(dex, hit, hops, reads, scratch)
+}
+
+/// Resolve a planned insert's fabric edit from its walk outcome:
+/// `reads[0]` is the attach slot, `hit` the spare's slot (`None` = walk
+/// miss ⇒ sequential territory). Shared tail of the scalar
+/// [`plan_insert`] and the K-way interleaved planner, so both produce
+/// the plan from one code path.
+fn plan_insert_finish(
+    dex: &DexNetwork,
+    hit: Option<u32>,
+    hops: u64,
+    reads: Vec<u32>,
+    scratch: &mut PlanScratch,
+) -> OpPlan {
+    let g = dex.net.graph();
+    let start = reads[0];
     let Some(hit_slot) = hit else {
         // Walk miss ⇒ flood count ⇒ possibly type-2: whole-state reads.
-        reads.extend_from_slice(&writes);
-        scratch.pool.put_u32(writes);
         return OpPlan::Serial { touch: reads };
     };
+    let mut writes: Vec<u32> = scratch.pool.get_u32();
     let w = g.id_of_slot(hit_slot);
     writes.push(start);
     writes.push(hit_slot);
@@ -1219,20 +1384,15 @@ pub(crate) fn run_batch(dex: &mut DexNetwork, threads: usize) -> bool {
             // fan-out costs parked-worker handoffs, not spawns, so the
             // requested thread count is honored even above the core count.
             let workers = threads.min(stale.div_ceil(PLAN_CHUNK)).max(1);
+            // Per-chunk planner: the K-way interleaved engine unless
+            // `DEX_MLP_KERNELS=0` forces the scalar depth-2 pipeline.
+            // Both produce bit-identical plans (differentially tested).
+            let interleave = dex_graph::par::mlp_enabled();
             let plan_chunk = |start: usize, chunk: &mut [OpPlan], ps: &mut PlanScratch| {
-                // Depth-2 entry pipeline: resolve + prefetch op i+2's
-                // entry record, row-prefetch op i+1, plan op i.
-                let len = chunk.len();
-                for (off, slot) in chunk.iter_mut().enumerate() {
-                    if off + 2 < len {
-                        prefetch_plan_entry(dex_ref, ops_ref[base + start + off + 2]);
-                    }
-                    if off + 1 < len {
-                        prefetch_plan_row(dex_ref, ops_ref[base + start + off + 1]);
-                    }
-                    if matches!(slot, OpPlan::Stale) {
-                        *slot = plan_op(dex_ref, ops_ref[base + start + off], walk_len, ps);
-                    }
+                if interleave {
+                    plan_chunk_interleaved(dex_ref, ops_ref, base + start, walk_len, chunk, ps);
+                } else {
+                    plan_chunk_scalar(dex_ref, ops_ref, base + start, walk_len, chunk, ps);
                 }
             };
             if workers <= 1 {
@@ -1532,5 +1692,71 @@ mod tests {
         assert_eq!(s.wave_hist[9], 1); // 512 ≤ 700 < 1024
         assert_eq!(s.waves, 4);
         assert_eq!(s.max_wave, 700);
+    }
+
+    #[test]
+    fn interleaved_planner_is_bit_identical_to_scalar() {
+        use crate::DexConfig;
+        // A churned network with spares, then a mixed chunk stream of
+        // inserts (incl. chained = Blocked), deletes, and already-planned
+        // slots: every produced plan — walk trace, touch sets, slot
+        // programs — must match the scalar planner field for field.
+        let cfg = DexConfig::new(0x9e37_79b9_7f4a_7c15).simplified();
+        let mut dex = DexNetwork::bootstrap(cfg, 400);
+        let ids = dex.node_ids();
+        for &v in ids.iter().step_by(9).take(20) {
+            dex.delete(v);
+        }
+        let live = dex.node_ids();
+        let mut ops: Vec<BatchOp> = Vec::new();
+        for i in 0..(3 * PLAN_CHUNK as u64 + 5) {
+            ops.push(match i % 4 {
+                0 | 1 => BatchOp::Insert {
+                    u: NodeId(1_000_000 + i),
+                    v: live[(i as usize * 17) % live.len()],
+                },
+                // Attach point not live: must come back Blocked.
+                2 => BatchOp::Insert {
+                    u: NodeId(2_000_000 + i),
+                    v: NodeId(1_000_000 + i),
+                },
+                _ => BatchOp::Delete {
+                    victim: live[(i as usize * 31) % live.len()],
+                },
+            });
+        }
+        let walk_len = dex.cfg.walk_len(dex.cycle.p());
+        let bound = dex.net.graph().slot_bound();
+        let plan_with = |interleaved: bool| -> Vec<OpPlan> {
+            let mut ps = PlanScratch::new();
+            ps.overlay.ensure_slots(bound);
+            let mut plans: Vec<OpPlan> = Vec::new();
+            plans.resize_with(ops.len(), || OpPlan::Stale);
+            // Pre-planned slots must be left untouched by both planners.
+            plans[5] = OpPlan::Serial {
+                touch: vec![1, 2, 3],
+            };
+            for start in (0..ops.len()).step_by(PLAN_CHUNK) {
+                let end = (start + PLAN_CHUNK).min(ops.len());
+                let chunk = &mut plans[start..end];
+                if interleaved {
+                    plan_chunk_interleaved(&dex, &ops, start, walk_len, chunk, &mut ps);
+                } else {
+                    plan_chunk_scalar(&dex, &ops, start, walk_len, chunk, &mut ps);
+                }
+            }
+            plans
+        };
+        let scalar = plan_with(false);
+        let interleaved = plan_with(true);
+        assert!(
+            scalar.iter().any(|p| matches!(p, OpPlan::Insert(_))),
+            "mix must exercise resolved insert plans"
+        );
+        assert!(scalar.iter().any(|p| matches!(p, OpPlan::Blocked)));
+        assert_eq!(scalar.len(), interleaved.len());
+        for (i, (a, b)) in scalar.iter().zip(&interleaved).enumerate() {
+            assert_eq!(a, b, "plan {i} diverged");
+        }
     }
 }

@@ -569,6 +569,68 @@ where
     partials.iter().sum()
 }
 
+/// Fused chunked mutate-and-reduce: apply `f(start_index, chunk)` to
+/// consecutive [`CHUNK`]-sized pieces of `data` (as [`for_chunks_mut`])
+/// while each chunk also produces a partial accumulator; partials are
+/// combined **sequentially in chunk order** with `combine`, starting from
+/// `zero` — so the result is bit-identical to running the mutation pass
+/// and a separate [`reduce_chunks`] over the same chunks, at any thread
+/// count. This is the memory-level fusion primitive: one streaming pass
+/// over `data` replaces a write pass plus a re-read reduction pass.
+pub fn for_chunks_fold_mut<T, A, F, C>(
+    data: &mut [T],
+    threads: usize,
+    zero: A,
+    f: F,
+    combine: C,
+) -> A
+where
+    T: Send,
+    A: Send + Copy,
+    F: Fn(usize, &mut [T]) -> A + Sync,
+    C: Fn(A, A) -> A,
+{
+    let n = data.len();
+    if n == 0 {
+        return zero;
+    }
+    let n_chunks = n.div_ceil(CHUNK);
+    let workers = threads.min(n_chunks).clamp(1, MAX_WORKERS);
+    if workers <= 1 {
+        let mut acc = zero;
+        for (c, chunk) in data.chunks_mut(CHUNK).enumerate() {
+            acc = combine(acc, f(c * CHUNK, chunk));
+        }
+        return acc;
+    }
+    // Workers fill per-chunk partial slots; pairing each data span with
+    // the matching span of the partials array keeps every write owned by
+    // exactly one worker with no synchronization.
+    let mut partials: Vec<Option<A>> = (0..n_chunks).map(|_| None).collect();
+    {
+        let data_spans = spans_of(data, workers, CHUNK);
+        let mut part_spans: Vec<Mutex<&mut [Option<A>]>> = Vec::with_capacity(data_spans.len());
+        let mut rest = partials.as_mut_slice();
+        for span in &data_spans {
+            let chunks_here = span.lock().expect("span poisoned").1.len().div_ceil(CHUNK);
+            let (head, tail) = rest.split_at_mut(chunks_here);
+            part_spans.push(Mutex::new(head));
+            rest = tail;
+        }
+        run_workers(data_spans.len(), |w| {
+            let mut guard = data_spans[w].lock().expect("span poisoned");
+            let (offset, slice) = &mut *guard;
+            let mut parts = part_spans[w].lock().expect("span poisoned");
+            for (c, chunk) in slice.chunks_mut(CHUNK).enumerate() {
+                parts[c] = Some(f(*offset + c * CHUNK, chunk));
+            }
+        });
+    }
+    partials
+        .into_iter()
+        .fold(zero, |acc, p| combine(acc, p.expect("all chunks folded")))
+}
+
 /// Parallel map preserving input order: splits `items` into contiguous
 /// per-worker spans; workers write into disjoint output slices, so no
 /// synchronization is needed beyond the completion latch. Falls back to a
@@ -645,6 +707,67 @@ mod tests {
     #[test]
     fn empty_reduction() {
         assert_eq!(reduce_chunks(0, 4, |_, _| unreachable!()), 0.0);
+    }
+
+    #[test]
+    fn fused_fold_matches_separate_passes_bitwise() {
+        for n in [0usize, 1, CHUNK - 1, CHUNK, 3 * CHUNK + 17, 20 * CHUNK] {
+            let base: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+            // Oracle: mutation pass, then a separate chunked reduction.
+            let mut want_data = base.clone();
+            for_chunks_mut(&mut want_data, 1, |start, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v += (start + i) as f64;
+                }
+            });
+            let want_sum = reduce_chunks(n, 1, |lo, hi| want_data[lo..hi].iter().sum());
+            for threads in [1, 2, 3, 8] {
+                let mut data = base.clone();
+                let got_sum = for_chunks_fold_mut(
+                    &mut data,
+                    threads,
+                    0.0f64,
+                    |start, chunk| {
+                        let mut acc = 0.0;
+                        for (i, v) in chunk.iter_mut().enumerate() {
+                            *v += (start + i) as f64;
+                            acc += *v;
+                        }
+                        acc
+                    },
+                    |a, b| a + b,
+                );
+                assert_eq!(data, want_data, "n={n} threads={threads}");
+                assert_eq!(
+                    got_sum.to_bits(),
+                    want_sum.to_bits(),
+                    "n={n} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_fold_with_tuple_accumulator() {
+        let n = 5 * CHUNK + 3;
+        let mut data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let (s, c) = for_chunks_fold_mut(
+            &mut data,
+            4,
+            (0.0f64, 0u64),
+            |_, chunk| {
+                let mut acc = (0.0, 0u64);
+                for v in chunk.iter_mut() {
+                    *v *= 2.0;
+                    acc.0 += *v;
+                    acc.1 += 1;
+                }
+                acc
+            },
+            |a, b| (a.0 + b.0, a.1 + b.1),
+        );
+        assert_eq!(c, n as u64);
+        assert_eq!(s, (n as f64 - 1.0) * n as f64); // 2·Σi = n(n−1)
     }
 
     #[test]

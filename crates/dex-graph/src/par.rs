@@ -20,9 +20,11 @@
 
 pub use dex_exec::{CHUNK, PAR_MIN_LEN};
 
+use std::sync::atomic::{AtomicU8, Ordering};
+
 /// Hint the CPU to pull the cache line at `p` toward L1 (x86_64
-/// `prefetcht0`; a no-op elsewhere). Safe for any address — prefetches
-/// never fault.
+/// `prefetcht0`, aarch64 `prfm pldl1keep`; a no-op elsewhere). Safe for
+/// any address — prefetches never fault.
 ///
 /// This is the *memory-level* parallelism sibling of the thread helpers in
 /// this module: batch engines that interleave many independent pointer
@@ -37,8 +39,65 @@ pub fn prefetch_read<T>(p: *const T) {
     unsafe {
         core::arch::x86_64::_mm_prefetch(p as *const i8, core::arch::x86_64::_MM_HINT_T0)
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(target_arch = "aarch64")]
+    // No stable prefetch intrinsic on aarch64; PLD-keep-to-L1 via inline
+    // asm. `nostack`/`preserves_flags` keep it as cheap as the intrinsic.
+    unsafe {
+        core::arch::asm!(
+            "prfm pldl1keep, [{ptr}]",
+            ptr = in(reg) p,
+            options(nostack, preserves_flags, readonly)
+        )
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
     let _ = p;
+}
+
+/// Cached tri-state for the `DEX_MLP_KERNELS` knob: 0 = unresolved,
+/// 1 = off, 2 = on.
+static MLP: AtomicU8 = AtomicU8::new(0);
+
+/// Are the memory-level-parallel kernels (K-way interleaved walks, blocked
+/// SpMV) enabled? Default **on**; set `DEX_MLP_KERNELS=0` (or `off`) to
+/// force the scalar paths. The knob exists for benchmarking and CI
+/// byte-diffs only — both paths are bit-identical by construction, so
+/// flipping it never changes a result, only the memory access schedule.
+/// Read once per process (cached).
+pub fn mlp_enabled() -> bool {
+    match MLP.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => {
+            let on = !matches!(
+                std::env::var("DEX_MLP_KERNELS").as_deref(),
+                Ok("0") | Ok("off") | Ok("false")
+            );
+            MLP.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Pipeline depth for the interleaved walk engine: `DEX_WALK_K` when set
+/// to a positive integer, else 8, clamped to `[1, 64]`. K ≈ 8 covers one
+/// DRAM miss (~80–100 ns) with ~7 other lanes' compute (~10–15 ns each);
+/// larger K wastes L1 on in-flight lines, smaller K leaves latency
+/// uncovered. Read once per process (cached).
+pub fn walk_pipeline_k() -> usize {
+    static K: AtomicU8 = AtomicU8::new(0);
+    match K.load(Ordering::Relaxed) {
+        0 => {
+            let k = std::env::var("DEX_WALK_K")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&k| k > 0)
+                .unwrap_or(8)
+                .clamp(1, 64);
+            K.store(k as u8, Ordering::Relaxed);
+            k
+        }
+        k => k as usize,
+    }
 }
 
 /// Worker threads to use by default: the executor's global thread budget
@@ -95,9 +154,51 @@ where
     dex_exec::reduce_chunks(n, threads, partial)
 }
 
+/// Fused chunked mutate-and-reduce ([`dex_exec::for_chunks_fold_mut`]):
+/// one streaming pass both rewrites `data` and folds per-chunk partials,
+/// combined sequentially in chunk order — bit-identical to a mutation
+/// pass followed by a separate [`reduce_chunks`], at any thread count.
+pub fn for_chunks_fold_mut<T, A, F, C>(
+    data: &mut [T],
+    threads: usize,
+    zero: A,
+    f: F,
+    combine: C,
+) -> A
+where
+    T: Send,
+    A: Send + Copy,
+    F: Fn(usize, &mut [T]) -> A + Sync,
+    C: Fn(A, A) -> A,
+{
+    dex_exec::for_chunks_fold_mut(data, threads, zero, f, combine)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn prefetch_compiles_and_tolerates_any_address() {
+        // The cfg branches (x86_64 intrinsic / aarch64 asm / portable
+        // no-op) must all build and accept arbitrary addresses without
+        // faulting: live data, one-past-the-end, null, and unmapped.
+        let data = [0u64; 4];
+        prefetch_read(data.as_ptr());
+        prefetch_read(unsafe { data.as_ptr().add(4) }); // one past the end
+        prefetch_read(std::ptr::null::<u64>());
+        prefetch_read(0xdead_beef_0000usize as *const u8);
+    }
+
+    #[test]
+    fn mlp_knobs_are_cached_and_in_range() {
+        // Whatever the environment says, repeated reads agree (the knob is
+        // latched on first read) and K is in its documented range.
+        assert_eq!(mlp_enabled(), mlp_enabled());
+        let k = walk_pipeline_k();
+        assert!((1..=64).contains(&k), "K={k}");
+        assert_eq!(walk_pipeline_k(), k);
+    }
 
     #[test]
     fn chunked_writes_cover_everything_once() {

@@ -28,6 +28,24 @@
 //! combine fixed-size chunk partials in chunk order, so results are
 //! bit-identical for every thread count (including 1) — a determinism test
 //! enforces that parallel and sequential runs agree.
+//!
+//! # Memory-level-parallel kernels
+//!
+//! The iteration's hot loop is a CSR SpMV whose gathers (`x[target]`) are
+//! random on DRAM-resident graphs. The solver's default kernel
+//! ([`lazy_spmv`] with `blocked = true`) restructures the row loop into
+//! 4-row blocks with independent accumulator chains and software-prefetches
+//! gather targets a fixed distance ahead along the u32 column stream, so
+//! misses overlap instead of serializing; the two reduction+rewrite
+//! passes that follow each SpMV (deflation numerator; subtract + Rayleigh
+//! quotient + norm) are fused into the same streaming pass via
+//! [`par::for_chunks_fold_mut`]. **No arithmetic is reordered**: per-row
+//! entry order, reduction chunking, and partial-combination order are
+//! unchanged, so the MLP path is bit-identical to the scalar path at
+//! every thread count — differential tests assert byte equality, and the
+//! `DEX_MLP_KERNELS` knob ([`par::mlp_enabled`]) only changes the memory
+//! access schedule. This stacks multiplicatively with pool parallelism:
+//! each worker's chunk runs the blocked kernel on its own core.
 
 // Dense linear-algebra kernels read clearer with explicit index loops.
 #![allow(clippy::needless_range_loop)]
@@ -159,22 +177,164 @@ pub fn dense_spectrum(g: &MultiGraph) -> Spectrum {
     }
 }
 
+// ----------------------------------------------------------------------
+// The SpMV kernel: y = 0.5·x ± 0.5·(P x), scalar and blocked variants
+// ----------------------------------------------------------------------
+//
+// The power iteration's cost is one CSR SpMV per iteration, and on
+// DRAM-resident graphs that SpMV is gather-bound: `x[targets[k]]` misses
+// are random, and the scalar row loop exposes only one miss at a time.
+// The blocked kernel recovers memory-level parallelism two ways without
+// changing any arithmetic order:
+//
+// * **4-row blocks** — four independent accumulator chains per block, so
+//   the out-of-order window holds gathers from four rows at once instead
+//   of serializing on one row's `acc` dependency;
+// * **streamed gather prefetch** — the u32 column stream `targets[..]` is
+//   read ahead of the block being summed (a sequential, hardware-friendly
+//   read) and `x[target]` lines are software-prefetched `SPMV_PF_DIST`
+//   entries early, so by the time a row is summed its gathers are in
+//   flight or resident.
+//
+// Per-row entry order is untouched and each `y[i]` is the same expression
+// as the scalar kernel, so the blocked variant is bit-identical — tests
+// assert byte equality, and the solver exposes both paths.
+
+/// Flat adjacency entries to prefetch ahead of the block being summed.
+/// 384 entries ≈ 1.5 KiB of sequential u32 column reads, keeping up to
+/// ~384 gather targets in flight — deep enough to cover a full DRAM miss
+/// in the `dram_resident` regime (measured best among {192, 384} on the
+/// bench box) while the request stream itself stays hardware-friendly.
+const SPMV_PF_DIST: usize = 384;
+
+/// Scalar reference kernel over one row chunk: `out[k] = 0.5·x[start+k] +
+/// (0.5·sign)·Σ_row x / deg`. `sign = ±1.0` selects the lazy walk
+/// operator `(I + P)/2` or its reflection `(I − P)/2`; the multiplication
+/// by `0.5·sign` is exact for both values, so the minus path is
+/// bit-identical to the historical `0.5·x − 0.5·acc/deg` form.
+fn spmv_chunk_scalar(csr: &Csr, x: &[f64], start: usize, out: &mut [f64], sign: f64) {
+    let h = 0.5 * sign;
+    for (k, yi) in out.iter_mut().enumerate() {
+        let i = start + k;
+        let row = csr.row(i);
+        let mut acc = 0.0;
+        for &j in row {
+            acc += x[j as usize];
+        }
+        *yi = 0.5 * x[i] + h * acc / row.len() as f64;
+    }
+}
+
+/// Blocked kernel: same chunk, same per-row arithmetic, restructured for
+/// memory-level parallelism (see the section comment above).
+fn spmv_chunk_blocked(csr: &Csr, x: &[f64], start: usize, out: &mut [f64], sign: f64) {
+    let offsets = &csr.offsets;
+    let targets = &csr.targets;
+    let rows = out.len();
+    let flat_end = offsets[start + rows] as usize;
+    let mut pf = offsets[start] as usize;
+    let h = 0.5 * sign;
+    let mut r = 0usize;
+    while r + 4 <= rows {
+        let i = start + r;
+        let o0 = offsets[i] as usize;
+        let o1 = offsets[i + 1] as usize;
+        let o2 = offsets[i + 2] as usize;
+        let o3 = offsets[i + 3] as usize;
+        let o4 = offsets[i + 4] as usize;
+        // Walk the column stream ahead of the block, requesting the
+        // gather targets early. The stream itself reads sequentially.
+        let goal = (o4 + SPMV_PF_DIST).min(flat_end);
+        while pf < goal {
+            par::prefetch_read(&x[targets[pf] as usize]);
+            pf += 1;
+        }
+        // Four independent accumulator chains; per-row order unchanged.
+        let mut a0 = 0.0;
+        for &j in &targets[o0..o1] {
+            a0 += x[j as usize];
+        }
+        let mut a1 = 0.0;
+        for &j in &targets[o1..o2] {
+            a1 += x[j as usize];
+        }
+        let mut a2 = 0.0;
+        for &j in &targets[o2..o3] {
+            a2 += x[j as usize];
+        }
+        let mut a3 = 0.0;
+        for &j in &targets[o3..o4] {
+            a3 += x[j as usize];
+        }
+        out[r] = 0.5 * x[i] + h * a0 / (o1 - o0) as f64;
+        out[r + 1] = 0.5 * x[i + 1] + h * a1 / (o2 - o1) as f64;
+        out[r + 2] = 0.5 * x[i + 2] + h * a2 / (o3 - o2) as f64;
+        out[r + 3] = 0.5 * x[i + 3] + h * a3 / (o4 - o3) as f64;
+        r += 4;
+    }
+    if r < rows {
+        spmv_chunk_scalar(csr, x, start + r, &mut out[r..], sign);
+    }
+}
+
+#[inline]
+fn spmv_chunk(csr: &Csr, x: &[f64], start: usize, out: &mut [f64], sign: f64, blocked: bool) {
+    if blocked {
+        spmv_chunk_blocked(csr, x, start, out, sign);
+    } else {
+        spmv_chunk_scalar(csr, x, start, out, sign);
+    }
+}
+
+/// One application of `y = 0.5·x + sign·0.5·(P x)` over the whole vector,
+/// chunk-deterministic. Public entry for the kernel benchmark and
+/// differential tests; `blocked` selects the memory-level-parallel kernel
+/// (bit-identical to scalar — byte-equality is asserted in tests).
+pub fn lazy_spmv(csr: &Csr, x: &[f64], y: &mut [f64], threads: usize, sign: f64, blocked: bool) {
+    assert_eq!(x.len(), csr.n());
+    assert_eq!(y.len(), csr.n());
+    par::for_chunks_mut(y, threads, |start, chunk| {
+        spmv_chunk(csr, x, start, chunk, sign, blocked);
+    });
+}
+
 /// Apply the lazy walk operator `W = (I + P)/2` to `x`, writing into `y`.
 /// Rows are processed in fixed chunks, optionally across threads; each
 /// `y[i]` is computed from the same inputs in the same order regardless of
 /// the thread count.
-fn apply_lazy(csr: &Csr, x: &[f64], y: &mut [f64], threads: usize) {
+fn apply_lazy(csr: &Csr, x: &[f64], y: &mut [f64], threads: usize, blocked: bool) {
     par::for_chunks_mut(y, threads, |start, chunk| {
-        for (k, yi) in chunk.iter_mut().enumerate() {
-            let i = start + k;
-            let row = csr.row(i);
-            let mut acc = 0.0;
-            for &j in row {
-                acc += x[j as usize];
-            }
-            *yi = 0.5 * x[i] + 0.5 * acc / row.len() as f64;
-        }
+        spmv_chunk(csr, x, start, chunk, 1.0, blocked);
     });
+}
+
+/// Fused iteration front half (the memory-level-parallel path): apply the
+/// lazy operator *and* fold the deflation numerator `Σ π_i y_i` in the
+/// same streaming pass over `y` — one pass instead of a write pass plus a
+/// re-read reduction. Per-chunk partials combine in chunk order, so the
+/// numerator is bit-identical to [`deflate_top`]'s separate reduction.
+fn apply_lazy_fold_num(
+    csr: &Csr,
+    x: &[f64],
+    y: &mut [f64],
+    pi: &[f64],
+    threads: usize,
+    blocked: bool,
+) -> f64 {
+    par::for_chunks_fold_mut(
+        y,
+        threads,
+        0.0f64,
+        |start, chunk| {
+            spmv_chunk(csr, x, start, chunk, 1.0, blocked);
+            let mut acc = 0.0;
+            for (k, &v) in chunk.iter().enumerate() {
+                acc += pi[start + k] * v;
+            }
+            acc
+        },
+        |a, b| a + b,
+    )
 }
 
 /// π-weighted dot product `Σ π_i a_i b_i`, chunk-deterministic.
@@ -231,6 +391,10 @@ pub struct Lambda2Solver {
     y: Vec<f64>,
     pi: Vec<f64>,
     warm: bool,
+    /// Use the memory-level-parallel kernels (blocked SpMV + fused
+    /// deflation/normalization passes). Bit-identical to the scalar path;
+    /// defaults to the process-wide [`par::mlp_enabled`] knob.
+    mlp: bool,
 }
 
 impl Default for Lambda2Solver {
@@ -253,7 +417,17 @@ impl Lambda2Solver {
             y: Vec::new(),
             pi: Vec::new(),
             warm: false,
+            mlp: par::mlp_enabled(),
         }
+    }
+
+    /// Force the memory-level-parallel kernels on or off for this solver
+    /// (default: the process-wide `DEX_MLP_KERNELS` knob). Results are
+    /// bit-identical either way — this is a benchmarking/differential-test
+    /// hook, not a semantic switch.
+    pub fn set_mlp_kernels(&mut self, on: bool) -> &mut Self {
+        self.mlp = on;
+        self
     }
 
     /// Drop the warm-start state (the next call re-seeds from `seed`).
@@ -355,12 +529,39 @@ impl Lambda2Solver {
         let mut prev_delta = f64::NAN;
         let mut prev_extrap = f64::NAN;
         for it in 0..max_iters {
-            apply_lazy(csr, x, y, threads);
-            deflate_top(pi, y, threads);
-            // Rayleigh quotient in the π inner product: <x, Wx>_π (x is
-            // unit).
-            let rq = dot_pi(pi, x, y, threads);
-            let norm = pi_norm(pi, y, threads);
+            // One iteration = SpMV + deflate + Rayleigh quotient + norm.
+            // The MLP path fuses them into two streaming passes over y
+            // (apply⊕numerator, then subtract⊕rq⊕norm); partials combine
+            // in chunk order, so both paths are bit-identical — asserted
+            // by differential tests against the scalar sequence below.
+            let (rq, norm) = if self.mlp {
+                let num = apply_lazy_fold_num(csr, x, y, pi, threads, true);
+                let x_ro: &[f64] = x;
+                let (rq, norm2) = par::for_chunks_fold_mut(
+                    y,
+                    threads,
+                    (0.0f64, 0.0f64),
+                    |start, chunk| {
+                        let mut rq = 0.0;
+                        let mut n2 = 0.0;
+                        for (k, v) in chunk.iter_mut().enumerate() {
+                            let i = start + k;
+                            *v -= num;
+                            rq += pi[i] * x_ro[i] * *v;
+                            n2 += pi[i] * *v * *v;
+                        }
+                        (rq, n2)
+                    },
+                    |a, b| (a.0 + b.0, a.1 + b.1),
+                );
+                (rq, norm2.sqrt())
+            } else {
+                apply_lazy(csr, x, y, threads, false);
+                deflate_top(pi, y, threads);
+                // Rayleigh quotient in the π inner product: <x, Wx>_π (x
+                // is unit).
+                (dot_pi(pi, x, y, threads), pi_norm(pi, y, threads))
+            };
             if norm < 1e-300 {
                 // x was (numerically) entirely in the top eigenspace.
                 self.warm = false;
@@ -436,22 +637,11 @@ pub fn power_lambda_min(g: &MultiGraph, max_iters: usize, tol: f64, seed: u64) -
     for v in x.iter_mut() {
         *v /= norm0;
     }
+    let blocked = par::mlp_enabled();
     for it in 0..max_iters {
-        // y = (x - P x)/2
-        {
-            let (x, y) = (&x, &mut y);
-            par::for_chunks_mut(y, threads, |start, chunk| {
-                for (k, yi) in chunk.iter_mut().enumerate() {
-                    let i = start + k;
-                    let row = csr.row(i);
-                    let mut acc = 0.0;
-                    for &j in row {
-                        acc += x[j as usize];
-                    }
-                    *yi = 0.5 * x[i] - 0.5 * acc / row.len() as f64;
-                }
-            });
-        }
+        // y = (x - P x)/2 — the shared SpMV kernel with sign −1
+        // (bit-identical to the historical `0.5·x − 0.5·acc/deg` loop).
+        lazy_spmv(&csr, &x, &mut y, threads, -1.0, blocked);
         let rq = par::reduce_chunks(n, threads, |lo, hi| {
             let mut acc = 0.0;
             for i in lo..hi {
@@ -829,6 +1019,54 @@ mod tests {
                 par.to_bits(),
                 seq.to_bits(),
                 "threads={threads}: {par} vs {seq}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_spmv_is_bitwise_equal_to_scalar() {
+        // Both signs, both thread regimes, sizes exercising the 4-row
+        // remainder and multiple chunks; irregular degrees via churn.
+        let mut g = PCycle::new(4099).to_multigraph();
+        let nodes = g.nodes_sorted();
+        for w in nodes.windows(3).step_by(97) {
+            g.add_edge(w[0], w[2]);
+        }
+        let csr = g.csr();
+        let n = csr.n();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xb10c);
+        let x: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
+        for sign in [1.0, -1.0] {
+            for threads in [1, 8] {
+                let mut y_scalar = vec![0.0f64; n];
+                let mut y_blocked = vec![0.0f64; n];
+                lazy_spmv(&csr, &x, &mut y_scalar, threads, sign, false);
+                lazy_spmv(&csr, &x, &mut y_blocked, threads, sign, true);
+                let same = y_scalar
+                    .iter()
+                    .zip(&y_blocked)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "sign={sign} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn mlp_solver_is_bitwise_equal_to_scalar_solver() {
+        // Full fused iteration (blocked SpMV + fold passes) vs the scalar
+        // sequence, same budget, tol = 0 so both iterate identically.
+        let g = PCycle::new(65537).to_multigraph();
+        let mut scalar = Lambda2Solver::with_threads(2);
+        scalar.set_mlp_kernels(false);
+        let want = scalar.lambda2(&g, 40, 0.0, 42);
+        for threads in [1, 8] {
+            let mut mlp = Lambda2Solver::with_threads(threads);
+            mlp.set_mlp_kernels(true);
+            let got = mlp.lambda2(&g, 40, 0.0, 42);
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "threads={threads}: {got} vs {want}"
             );
         }
     }
