@@ -24,16 +24,26 @@ pub struct CountingAlloc;
 
 static ALLOCATED: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: a pure pass-through to `System` plus a relaxed atomic counter —
+// every GlobalAlloc contract obligation (layout validity, pointer
+// provenance) is forwarded unchanged to the system allocator.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: (all three methods) caller upholds the GlobalAlloc
+    // contract; we forward the exact same arguments to `System`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        // SAFETY: same layout the caller passed under the same contract.
         unsafe { System.alloc(layout) }
     }
+    // SAFETY: see alloc.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: ptr/layout come from a matching `alloc` via our caller.
         unsafe { System.dealloc(ptr, layout) }
     }
+    // SAFETY: see alloc.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATED.fetch_add(new_size as u64, Ordering::Relaxed);
+        // SAFETY: forwarded unchanged; caller upholds the contract.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -317,6 +317,11 @@ fn fanout_microbench() -> (u64, u64) {
     let pool_ns = (t0.elapsed().as_nanos() / ROUNDS as u128) as u64;
     let t0 = Instant::now();
     for _ in 0..ROUNDS {
+        // This IS the measurement: the pre-executor per-call scoped
+        // spawn+join baseline the parked-pool handoff is compared
+        // against. Routing it through dex_exec would measure the pool
+        // against itself.
+        // dex-lint: allow(no-raw-threads) -- deliberate scoped-spawn cost baseline
         std::thread::scope(|s| {
             for i in 1..WORKERS {
                 s.spawn(move || {

@@ -27,8 +27,10 @@ fn main() {
                     .map(|_| (ids.fresh(), live[rng.random_range(0..live.len())]))
                     .collect();
                 // Respect the O(1) fan-in condition by deduplicating
-                // attach points when the batch is large.
-                let mut seen = std::collections::HashMap::new();
+                // attach points when the batch is large. FxHashMap for
+                // consistency with the deterministic crates (entry-only
+                // access here, but no reason to touch RandomState).
+                let mut seen = dex::graph::fxhash::FxHashMap::<NodeId, usize>::default();
                 let joins: Vec<(NodeId, NodeId)> = joins
                     .into_iter()
                     .map(|(id, v)| {

@@ -371,8 +371,7 @@ impl CutAttacker {
         let order: Vec<NodeId> = {
             let mut seen = vec![start];
             let mut queue = std::collections::VecDeque::from([start]);
-            let mut in_seen: std::collections::HashSet<NodeId> =
-                std::collections::HashSet::from([start]);
+            let mut in_seen: dex_graph::fxhash::FxHashSet<NodeId> = [start].into_iter().collect();
             while let Some(u) = queue.pop_front() {
                 let mut nbrs: Vec<NodeId> = g.neighbors(u).to_vec();
                 nbrs.sort_unstable();
@@ -386,7 +385,7 @@ impl CutAttacker {
             seen
         };
         // Sweep prefixes up to half the graph, tracking cut size.
-        let mut in_prefix: std::collections::HashSet<NodeId> = Default::default();
+        let mut in_prefix: dex_graph::fxhash::FxHashSet<NodeId> = Default::default();
         let mut cut = 0i64;
         let mut best = (f64::INFINITY, 1usize);
         for (i, &u) in order.iter().enumerate().take(order.len() / 2) {
@@ -407,7 +406,7 @@ impl CutAttacker {
             }
         }
         let side: Vec<NodeId> = order[..best.1].to_vec();
-        let side_set: std::collections::HashSet<NodeId> = side.iter().copied().collect();
+        let side_set: dex_graph::fxhash::FxHashSet<NodeId> = side.iter().copied().collect();
         let boundary = side
             .iter()
             .copied()
@@ -481,7 +480,7 @@ impl Adversary for SpectralCutAttacker {
             };
         }
         if self.flip && view.graph.num_nodes() > 6 {
-            let side_set: std::collections::HashSet<NodeId> = side.iter().copied().collect();
+            let side_set: dex_graph::fxhash::FxHashSet<NodeId> = side.iter().copied().collect();
             let boundary = side
                 .iter()
                 .copied()

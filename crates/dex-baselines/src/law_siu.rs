@@ -87,7 +87,7 @@ impl LawSiu {
             if cur != start {
                 return Err(format!("cycle {c} is not closed after n steps"));
             }
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = dex_graph::fxhash::FxHashSet::<NodeId>::default();
             let mut cur = start;
             for _ in 0..n {
                 if !seen.insert(cur) {

@@ -67,10 +67,12 @@ proptest! {
         keys in proptest::collection::vec(0u64..64, 1..60),
         churn in arb_script(25)
     ) {
-        // Model-based: the DHT must behave exactly like a HashMap,
-        // regardless of interleaved churn.
+        // Model-based: the DHT must behave exactly like a plain map,
+        // regardless of interleaved churn. BTreeMap (not HashMap): the
+        // model is iterated to drive the lookup phase, and a RandomState
+        // order would make proptest failures seed-irreproducible.
         let mut net = DexNetwork::bootstrap(DexConfig::new(4).simplified(), 12);
-        let mut model = std::collections::HashMap::new();
+        let mut model = std::collections::BTreeMap::new();
         let mut next = 3_000_000u64;
         for (i, &k) in keys.iter().enumerate() {
             let live = net.node_ids();

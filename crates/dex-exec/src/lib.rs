@@ -64,6 +64,8 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
+pub mod knobs;
+
 /// Hard cap on pool-managed parallelism (worker 0 is the caller, so at
 /// most `MAX_WORKERS - 1` pool threads ever exist).
 pub const MAX_WORKERS: usize = 16;
@@ -93,10 +95,7 @@ pub fn thread_budget() -> usize {
     if b != 0 {
         return b;
     }
-    let init = std::env::var("DEX_EXEC_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
+    let init = knobs::exec_threads()
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|n| n.get())

@@ -237,6 +237,8 @@ impl MultiGraph {
             crate::par::prefetch_read(ptr);
             // Degree > 16 spills past one 64-byte line; fetch the second.
             if s.adj.len() > 16 {
+                // SAFETY: len > 16, so ptr+16 is in bounds of the same
+                // allocation (and prefetch never dereferences anyway).
                 crate::par::prefetch_read(unsafe { ptr.add(16) });
             }
         }

@@ -36,12 +36,16 @@ use std::sync::atomic::{AtomicU8, Ordering};
 #[inline(always)]
 pub fn prefetch_read<T>(p: *const T) {
     #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch hints never fault, for any address including null
+    // and unmapped — the CPU drops invalid prefetches silently.
     unsafe {
         core::arch::x86_64::_mm_prefetch(p as *const i8, core::arch::x86_64::_MM_HINT_T0)
     }
     #[cfg(target_arch = "aarch64")]
     // No stable prefetch intrinsic on aarch64; PLD-keep-to-L1 via inline
     // asm. `nostack`/`preserves_flags` keep it as cheap as the intrinsic.
+    // SAFETY: PRFM is a hint and never faults, for any address; the asm
+    // reads no memory and clobbers nothing (readonly/nostack).
     unsafe {
         core::arch::asm!(
             "prfm pldl1keep, [{ptr}]",
@@ -68,10 +72,7 @@ pub fn mlp_enabled() -> bool {
         1 => false,
         2 => true,
         _ => {
-            let on = !matches!(
-                std::env::var("DEX_MLP_KERNELS").as_deref(),
-                Ok("0") | Ok("off") | Ok("false")
-            );
+            let on = dex_exec::knobs::mlp_kernels().unwrap_or(true);
             MLP.store(if on { 2 } else { 1 }, Ordering::Relaxed);
             on
         }
@@ -87,12 +88,7 @@ pub fn walk_pipeline_k() -> usize {
     static K: AtomicU8 = AtomicU8::new(0);
     match K.load(Ordering::Relaxed) {
         0 => {
-            let k = std::env::var("DEX_WALK_K")
-                .ok()
-                .and_then(|v| v.trim().parse::<usize>().ok())
-                .filter(|&k| k > 0)
-                .unwrap_or(8)
-                .clamp(1, 64);
+            let k = dex_exec::knobs::walk_k().unwrap_or(8).clamp(1, 64);
             K.store(k as u8, Ordering::Relaxed);
             k
         }
@@ -185,7 +181,10 @@ mod tests {
         // faulting: live data, one-past-the-end, null, and unmapped.
         let data = [0u64; 4];
         prefetch_read(data.as_ptr());
-        prefetch_read(unsafe { data.as_ptr().add(4) }); // one past the end
+        // SAFETY: one-past-the-end pointers are valid to *form* for any
+        // allocation; only dereferencing would be UB, and prefetch never
+        // dereferences.
+        prefetch_read(unsafe { data.as_ptr().add(4) });
         prefetch_read(std::ptr::null::<u64>());
         prefetch_read(0xdead_beef_0000usize as *const u8);
     }

@@ -1,0 +1,347 @@
+//! A lightweight Rust lexer: just enough to separate **code** from
+//! **comments** and to blank out **string/char literal contents**, so the
+//! rule matchers never fire on text that the compiler would never
+//! execute (doc prose, fixture strings, test data).
+//!
+//! The output is line-oriented: for every source line the lexer produces
+//! a *code view* (comments removed, literal contents replaced by spaces,
+//! delimiters kept) and a *comment view* (comment text only). Rules
+//! match tokens against the code view; the `SAFETY:` and waiver scanners
+//! read the comment view. Handled syntax:
+//!
+//! * line comments `//…` (including doc `///` / `//!`),
+//! * block comments `/* … */` with nesting, spanning lines,
+//! * string literals with escapes (`"…\"…"`), byte strings `b"…"`,
+//! * raw strings `r"…"`, `r#"…"#`, … with any hash count, `br#"…"#`,
+//! * char and byte-char literals (`'x'`, `'\n'`, `b'\''`) vs lifetimes
+//!   (`'a`, `'_`, `'static`).
+//!
+//! This is not a full lexer (no float-vs-field disambiguation, no
+//! macro-aware parsing) — it does not need to be: the rules only need
+//! token-level matching with correct comment/string suppression.
+
+/// One file, split into per-line code and comment views. Both vectors
+/// have one entry per source line (`code.len() == comments.len()`).
+#[derive(Debug)]
+pub struct Lexed {
+    /// Per-line code text: comments stripped, literal contents blanked.
+    pub code: Vec<String>,
+    /// Per-line comment text: everything else stripped.
+    pub comments: Vec<String>,
+}
+
+impl Lexed {
+    /// Number of lines.
+    pub fn lines(&self) -> usize {
+        self.code.len()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth ≥ 1.
+    BlockComment(u32),
+    /// `None` = normal (escaped) string, `Some(n)` = raw with `n` hashes.
+    Str(Option<u32>),
+    CharLit,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into per-line code/comment views.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut code = Vec::new();
+    let mut comments = Vec::new();
+    let mut code_line = String::new();
+    let mut com_line = String::new();
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    macro_rules! newline {
+        () => {{
+            code.push(std::mem::take(&mut code_line));
+            comments.push(std::mem::take(&mut com_line));
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '\n' {
+            newline!();
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            // A char literal never spans lines; recover rather than eat
+            // the rest of the file on malformed input.
+            if state == State::CharLit {
+                state = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    i += 2;
+                }
+                '"' => {
+                    code_line.push('"');
+                    state = State::Str(None);
+                    i += 1;
+                }
+                'r' | 'b' if !prev_is_ident(&chars, i) => {
+                    // Possible literal prefix: r"…", r#"…"#, b"…", br#"…"#,
+                    // b'…'. Anything else is an ordinary identifier char.
+                    if let Some((consumed, st)) = literal_prefix(&chars, i) {
+                        for &p in &chars[i..i + consumed] {
+                            code_line.push(p);
+                        }
+                        state = st;
+                        i += consumed;
+                    } else {
+                        code_line.push(c);
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    // Char literal vs lifetime.
+                    let nn = chars.get(i + 2).copied();
+                    if next == Some('\\') || (next.is_some() && nn == Some('\'')) {
+                        code_line.push('\'');
+                        state = State::CharLit;
+                    } else {
+                        // Lifetime (or malformed): keep as code.
+                        code_line.push('\'');
+                    }
+                    i += 1;
+                }
+                _ => {
+                    code_line.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                com_line.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    com_line.push(c);
+                    i += 1;
+                }
+            }
+            State::Str(None) => match c {
+                '\\' => {
+                    // Consume the escaped char too — unless it is a
+                    // line-continuation newline, which the top-of-loop
+                    // newline handling must still see.
+                    code_line.push(' ');
+                    if next == Some('\n') || next.is_none() {
+                        i += 1;
+                    } else {
+                        code_line.push(' ');
+                        i += 2;
+                    }
+                }
+                '"' => {
+                    code_line.push('"');
+                    state = State::Code;
+                    i += 1;
+                }
+                _ => {
+                    code_line.push(' ');
+                    i += 1;
+                }
+            },
+            State::Str(Some(hashes)) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    code_line.push('"');
+                    for _ in 0..hashes {
+                        code_line.push('#');
+                    }
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    code_line.push(' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => match c {
+                '\\' => {
+                    code_line.push(' ');
+                    if next == Some('\n') || next.is_none() {
+                        i += 1;
+                    } else {
+                        code_line.push(' ');
+                        i += 2;
+                    }
+                }
+                '\'' => {
+                    code_line.push('\'');
+                    state = State::Code;
+                    i += 1;
+                }
+                _ => {
+                    code_line.push(' ');
+                    i += 1;
+                }
+            },
+        }
+    }
+    newline!();
+    Lexed { code, comments }
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && is_ident(chars[i - 1])
+}
+
+/// Does the text at `i` start a string/char literal prefix (`r`, `b`,
+/// `br` forms)? Returns `(chars consumed through the opening delimiter,
+/// resulting state)`.
+fn literal_prefix(chars: &[char], i: usize) -> Option<(usize, State)> {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        match chars.get(j) {
+            Some('\'') => return Some((j - i + 1, State::CharLit)),
+            Some('"') => return Some((j - i + 1, State::Str(None))),
+            Some('r') => j += 1,
+            _ => return None,
+        }
+    } else if chars[j] == 'r' {
+        j += 1;
+    } else {
+        return None;
+    }
+    // At this point we have consumed `r` (or `br`); expect `#*"`.
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((j - i + 1, State::Str(Some(hashes))))
+    } else {
+        None
+    }
+}
+
+/// Is the `"` at `i` followed by `hashes` `#` chars (closing a raw
+/// string)?
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        lex(src).code
+    }
+
+    #[test]
+    fn line_comments_move_to_comment_view() {
+        let l = lex("let x = 1; // thread::spawn here\n// SAFETY: nope\nlet y = 2;");
+        assert!(!l.code[0].contains("thread::spawn"));
+        assert!(l.comments[0].contains("thread::spawn"));
+        assert!(l.comments[1].contains("SAFETY:"));
+        assert!(l.code[2].contains("let y"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("a /* x /* unsafe */ still comment */ b");
+        assert_eq!(l.code[0].replace(' ', ""), "ab");
+        assert!(l.comments[0].contains("unsafe"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_delimiters_kept() {
+        let c = code_of(r#"let s = "thread::spawn // not a comment";"#);
+        assert!(!c[0].contains("thread::spawn"));
+        assert!(!c[0].contains("//"));
+        assert!(c[0].contains('"'));
+        assert!(c[0].ends_with(';'));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let c = code_of(r#"let s = "a\"unsafe\"b"; let t = unsafe_marker;"#);
+        assert!(!c[0].contains("\"unsafe\""));
+        assert!(c[0].contains("unsafe_marker"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r#\"env::var(\"X\") unsafe\"#; call();";
+        let c = code_of(src);
+        assert!(!c[0].contains("env::var"));
+        assert!(!c[0].contains("unsafe"));
+        assert!(c[0].contains("call()"));
+        // Raw string whose contents contain `"#`-lookalikes.
+        let src2 = "let s = r##\"quote \"# inner\"##; tail();";
+        let c2 = code_of(src2);
+        assert!(c2[0].contains("tail()"));
+        assert!(!c2[0].contains("inner"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let c = code_of(r##"let b = b"unsafe"; let rb = br#"thread::scope"#; end();"##);
+        assert!(!c[0].contains("unsafe"));
+        assert!(!c[0].contains("thread::scope"));
+        assert!(c[0].contains("end()"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let c = code_of("fn f<'a>(x: &'a str) { let q = '\"'; let n = '\\n'; g(x); }");
+        // The double-quote char literal must not open a string state.
+        assert!(c[0].contains("g(x)"));
+        assert!(c[0].contains("<'a>"));
+        let c2 = code_of("let underscore_char = '_'; let lt: &'_ str = s; h();");
+        assert!(c2[0].contains("h();"));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_before_string() {
+        // `var r` then a separate string: the r must not be taken as a
+        // raw-string prefix when glued to an identifier.
+        let c = code_of(r#"let chr = "unsafe"; keep(chr);"#);
+        assert!(!c[0].contains("unsafe"));
+        assert!(c[0].contains("keep(chr)"));
+    }
+
+    #[test]
+    fn multiline_strings_and_comments_track_lines() {
+        let src = "let s = \"line1\nline2 unsafe\nline3\";\n/* c1\nc2 */ code4();";
+        let l = lex(src);
+        assert_eq!(l.lines(), 5);
+        assert!(!l.code[1].contains("unsafe"));
+        assert!(l.code[4].contains("code4()"));
+        assert!(l.comments[3].contains("c1"));
+    }
+}

@@ -1,0 +1,59 @@
+//! `dex-lint` binary: lint the workspace, print violations, exit
+//! non-zero on any finding.
+//!
+//! ```sh
+//! cargo run -p dex-lint              # lint the enclosing workspace
+//! cargo run -p dex-lint -- --root X  # lint the workspace at X
+//! cargo run -p dex-lint -- --rules   # list rules and waiver syntax
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--rules" => {
+                println!("rules:");
+                for r in dex_lint::rules::RULE_IDS {
+                    println!("  {r}");
+                }
+                println!("\nwaiver syntax:  // dex-lint: allow(<rule>) -- <reason>");
+                println!("(same line as the violation, or the comment line(s) directly above)");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("dex-lint: unknown argument `{other}` (try --rules)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| dex_lint::workspace_root_from(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("dex-lint: no workspace root found (run inside the repo or pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    match dex_lint::lint_workspace(&root) {
+        Ok(report) => {
+            println!("{report}");
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("dex-lint: i/o error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

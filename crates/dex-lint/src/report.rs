@@ -1,0 +1,68 @@
+//! Violation records and the aggregate report.
+
+use std::fmt;
+
+/// One rule violation (or waiver-syntax error), anchored to a file:line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Path relative to the workspace root, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule id (one of [`crate::rules::RULE_IDS`] or a `waiver-*` meta
+    /// rule).
+    pub rule: &'static str,
+    /// What was found.
+    pub msg: String,
+    /// How to fix it (or how to waive it with a reason).
+    pub hint: &'static str,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    hint: {}",
+            self.file, self.line, self.rule, self.msg, self.hint
+        )
+    }
+}
+
+/// The result of linting a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Un-waived violations, sorted by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// Files scanned.
+    pub files: usize,
+    /// Waivers that matched a violation (suppressed findings).
+    pub waived: usize,
+}
+
+impl Report {
+    /// True when the file set is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Canonical ordering for stable output.
+    pub fn sort(&mut self) {
+        self.violations
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for v in &self.violations {
+            writeln!(f, "{v}")?;
+        }
+        write!(
+            f,
+            "dex-lint: {} file(s), {} violation(s), {} waived",
+            self.files,
+            self.violations.len(),
+            self.waived
+        )
+    }
+}

@@ -1,0 +1,244 @@
+//! Inline waivers: `// dex-lint: allow(<rule>) -- <reason>`.
+//!
+//! A waiver suppresses exactly one rule on exactly one line of code: the
+//! line it trails, or the first code line below a run of waiver-comment
+//! lines. Waivers are themselves linted — a waiver must name a known
+//! rule, must carry a non-empty reason after `--`, and must actually
+//! suppress something (an unused waiver is an error, so stale waivers
+//! cannot accumulate as the code underneath them changes).
+
+use crate::lexer::Lexed;
+use crate::report::Violation;
+use crate::rules;
+
+/// Marker that introduces a waiver inside a comment.
+pub const MARKER: &str = "dex-lint:";
+
+/// One parsed waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// 1-based line the waiver comment sits on.
+    pub line: usize,
+    /// Rule id it suppresses.
+    pub rule: String,
+    /// Mandatory justification.
+    pub reason: String,
+    /// Set when the waiver suppressed a violation.
+    pub used: bool,
+}
+
+/// Waivers and waiver-syntax errors found in one file.
+#[derive(Debug, Default)]
+pub struct WaiverSet {
+    pub waivers: Vec<Waiver>,
+    pub errors: Vec<Violation>,
+    /// Lines that hold a waiver comment and no code — a run of these
+    /// above a code line extends the waiver's reach to that line.
+    comment_only: Vec<bool>,
+}
+
+/// Scan a lexed file's comment view for waivers.
+pub fn parse(file: &str, lexed: &Lexed) -> WaiverSet {
+    let mut set = WaiverSet {
+        comment_only: vec![false; lexed.lines()],
+        ..WaiverSet::default()
+    };
+    for (idx, comment) in lexed.comments.iter().enumerate() {
+        let line = idx + 1;
+        // A waiver must *start* the comment (doc-marker and dash noise
+        // aside) — prose that merely mentions the syntax, like this
+        // crate's own documentation, is not a waiver.
+        let head = comment.trim_start_matches([' ', '\t', '/', '!']);
+        let Some(body) = head.strip_prefix(MARKER).map(str::trim) else {
+            continue;
+        };
+        match parse_body(body) {
+            Ok((rule, reason)) => {
+                if !rules::RULE_IDS.contains(&rule.as_str()) {
+                    set.errors.push(Violation {
+                        file: file.to_string(),
+                        line,
+                        rule: "waiver-unknown-rule",
+                        msg: format!("waiver names unknown rule `{rule}`"),
+                        hint: "valid rules: see `dex-lint --rules` or rules::RULE_IDS",
+                    });
+                } else {
+                    set.waivers.push(Waiver {
+                        line,
+                        rule,
+                        reason,
+                        used: false,
+                    });
+                    set.comment_only[idx] = lexed.code[idx].trim().is_empty();
+                }
+            }
+            Err(msg) => set.errors.push(Violation {
+                file: file.to_string(),
+                line,
+                rule: "waiver-syntax",
+                msg,
+                hint: "syntax: // dex-lint: allow(<rule>) -- <reason>",
+            }),
+        }
+    }
+    set
+}
+
+/// Parse `allow(<rule>) -- <reason>`, returning `(rule, reason)`.
+fn parse_body(body: &str) -> Result<(String, String), String> {
+    let rest = body
+        .strip_prefix("allow(")
+        .ok_or_else(|| format!("expected `allow(<rule>)`, found `{body}`"))?;
+    let close = rest
+        .find(')')
+        .ok_or_else(|| "unclosed `allow(` in waiver".to_string())?;
+    let rule = rest[..close].trim().to_string();
+    if rule.is_empty() || rule.contains(',') {
+        return Err("waivers suppress exactly one rule per comment".to_string());
+    }
+    let tail = rest[close + 1..].trim();
+    let reason = tail
+        .strip_prefix("--")
+        .map(str::trim)
+        .ok_or_else(|| "waiver is missing its `-- <reason>`".to_string())?;
+    if reason.is_empty() {
+        return Err("waiver reason must be non-empty".to_string());
+    }
+    Ok((rule, reason.to_string()))
+}
+
+impl WaiverSet {
+    /// Try to suppress a violation of `rule` at 1-based `line`: a waiver
+    /// on the same line, or on the contiguous run of waiver-comment-only
+    /// lines directly above. Marks the waiver used.
+    pub fn suppress(&mut self, rule: &str, line: usize) -> bool {
+        // Same-line (trailing) waiver.
+        if self.mark(rule, line) {
+            return true;
+        }
+        // Run of waiver-only comment lines above.
+        let mut l = line;
+        while l >= 2 && self.comment_only.get(l - 2).copied().unwrap_or(false) {
+            l -= 1;
+            if self.mark(rule, l) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn mark(&mut self, rule: &str, line: usize) -> bool {
+        for w in &mut self.waivers {
+            if w.line == line && w.rule == rule {
+                w.used = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Violations for waivers that suppressed nothing.
+    pub fn unused(&self, file: &str) -> Vec<Violation> {
+        self.waivers
+            .iter()
+            .filter(|w| !w.used)
+            .map(|w| Violation {
+                file: file.to_string(),
+                line: w.line,
+                rule: "waiver-unused",
+                msg: format!(
+                    "waiver for `{}` suppresses nothing — the violation it covered is gone",
+                    w.rule
+                ),
+                hint: "delete the stale waiver",
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    #[test]
+    fn round_trip_same_line_and_above() {
+        let src = "\
+// dex-lint: allow(no-raw-threads) -- measuring spawn cost on purpose
+bad_line();
+other(); // dex-lint: allow(rng-keying) -- fixture data
+";
+        let lexed = lexer::lex(src);
+        let mut set = parse("f.rs", &lexed);
+        assert_eq!(set.waivers.len(), 2);
+        assert!(set.errors.is_empty());
+        assert!(set.suppress("no-raw-threads", 2));
+        assert!(set.suppress("rng-keying", 3));
+        assert!(set.unused("f.rs").is_empty());
+        assert_eq!(set.waivers[0].reason, "measuring spawn cost on purpose");
+    }
+
+    #[test]
+    fn stacked_waivers_reach_the_code_line() {
+        let src = "\
+// dex-lint: allow(no-raw-threads) -- reason a
+// dex-lint: allow(no-wallclock-in-results) -- reason b
+bad();
+";
+        let lexed = lexer::lex(src);
+        let mut set = parse("f.rs", &lexed);
+        assert!(set.suppress("no-raw-threads", 3));
+        assert!(set.suppress("no-wallclock-in-results", 3));
+    }
+
+    #[test]
+    fn waiver_does_not_leak_past_code() {
+        let src = "\
+// dex-lint: allow(no-raw-threads) -- covers only the next line
+fine();
+bad();
+";
+        let lexed = lexer::lex(src);
+        let mut set = parse("f.rs", &lexed);
+        assert!(!set.suppress("no-raw-threads", 3));
+        assert_eq!(set.unused("f.rs").len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_and_missing_reason_are_errors() {
+        let src = "\
+// dex-lint: allow(not-a-rule) -- whatever
+// dex-lint: allow(no-raw-threads)
+// dex-lint: allow(no-raw-threads) --
+// dex-lint: bogus syntax
+";
+        let set = parse("f.rs", &lexed(src));
+        assert_eq!(set.waivers.len(), 0);
+        assert_eq!(set.errors.len(), 4);
+        assert_eq!(set.errors[0].rule, "waiver-unknown-rule");
+        assert!(set.errors[1].msg.contains("missing its `--"));
+        assert!(set.errors[2].msg.contains("non-empty"));
+        assert_eq!(set.errors[3].rule, "waiver-syntax");
+    }
+
+    #[test]
+    fn waiver_text_inside_strings_is_ignored() {
+        let src = r#"let s = "// dex-lint: allow(no-raw-threads) -- not real";"#;
+        let set = parse("f.rs", &lexed(src));
+        assert!(set.waivers.is_empty() && set.errors.is_empty());
+    }
+
+    #[test]
+    fn prose_mentioning_the_syntax_is_not_a_waiver() {
+        let src = "\
+//! Waive with `// dex-lint: allow(<rule>) -- <reason>` on the line above.
+/// The form is: dex-lint: allow(no-raw-threads) -- like so.
+";
+        let set = parse("f.rs", &lexed(src));
+        assert!(set.waivers.is_empty() && set.errors.is_empty(), "{set:?}");
+    }
+
+    fn lexed(src: &str) -> Lexed {
+        lexer::lex(src)
+    }
+}

@@ -1,0 +1,88 @@
+//! Workspace file discovery: every `.rs` file under the workspace root,
+//! skipping build output and VCS metadata, in a deterministic order.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config;
+
+/// All workspace `.rs` files, as paths relative to `root`, sorted. The
+/// walk covers `crates/`, `shims/`, and the root package (`src/`,
+/// `tests/`, `examples/`); `target/` and `.git/` are never entered.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for top in ["crates", "shims", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect(&dir, root, &mut out)?;
+        }
+    }
+    // Sort by the normalized string form (what reports print), not by
+    // `PathBuf`'s component-wise order — the two disagree on names like
+    // `dex/` vs `dex-adversary/`.
+    out.sort_by_key(|p| p.to_string_lossy().replace('\\', "/"));
+    Ok(out)
+}
+
+fn collect(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if config::SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            collect(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("walked path under root")
+                .to_path_buf();
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Ascend from `start` to the workspace root: the first ancestor whose
+/// `Cargo.toml` declares `[workspace]`. This is how the per-crate
+/// lint-clean tests find the repo from `CARGO_MANIFEST_DIR`.
+pub fn workspace_root_from(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d.to_path_buf());
+                }
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace() {
+        let root = workspace_root_from(Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("workspace root above dex-lint");
+        let files = workspace_files(&root).expect("walk");
+        let names: Vec<String> = files
+            .iter()
+            .map(|p| p.to_string_lossy().replace('\\', "/"))
+            .collect();
+        assert!(names.iter().any(|n| n == "crates/dex-lint/src/walker.rs"));
+        assert!(names.iter().any(|n| n == "crates/dex-exec/src/knobs.rs"));
+        assert!(names.iter().any(|n| n.starts_with("shims/")));
+        assert!(!names.iter().any(|n| n.contains("target/")));
+        // Sorted ⇒ deterministic report order.
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+}

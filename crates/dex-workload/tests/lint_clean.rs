@@ -1,0 +1,14 @@
+//! The determinism contract is enforced statically: `cargo test` in any
+//! deterministic crate fails if the workspace picks up an un-waived
+//! dex-lint violation (raw threads, RandomState maps, stray env reads,
+//! undocumented `unsafe`, wall-clock in results, unkeyed RNG).
+
+use std::path::Path;
+
+#[test]
+fn workspace_passes_dex_lint() {
+    let root = dex_lint::workspace_root_from(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let report = dex_lint::lint_workspace(&root).expect("lint run");
+    assert!(report.is_clean(), "\n{report}");
+}
