@@ -77,6 +77,17 @@ pub enum Action {
         /// Key.
         key: u64,
     },
+    /// Install a message-level fault spec: every subsequent action runs on
+    /// the event-driven simulator ([`dex_sim::msim`]) under these faults
+    /// until a [`Action::ClearFaults`] record restores centralized
+    /// execution. Lets a recorded trace capture an entire fault campaign —
+    /// including the exact loss/latency/partition parameters — replayably.
+    SetFaults {
+        /// The fault model to install.
+        spec: dex_sim::msim::FaultSpec,
+    },
+    /// Remove the installed fault spec (back to centralized execution).
+    ClearFaults,
 }
 
 /// Everything the adaptive adversary may inspect before striking.

@@ -8,6 +8,9 @@
 //! BD <victim> [<victim> ...]       # batch delete
 //! P <from> <key> <value>           # DHT put
 //! G <from> <key>                   # DHT get
+//! F <loss> <bwin> <bmilli> <latmin> <latmax> <pper> <plen> <wretry> <rretry> <fallback> <seed>
+//!                                  # install fault spec (11 fixed fields)
+//! FC                               # clear fault spec
 //! ```
 //! Blank lines and `#` comments are skipped. Parse errors carry 1-based
 //! line numbers, and any trailing tokens on a line are rejected (a silent
@@ -51,6 +54,24 @@ pub fn to_string(actions: &[Action]) -> String {
             Action::DhtGet { from, key } => {
                 let _ = writeln!(out, "G {} {key}", from.0);
             }
+            Action::SetFaults { spec } => {
+                let _ = writeln!(
+                    out,
+                    "F {} {} {} {} {} {} {} {} {} {} {}",
+                    spec.loss_milli,
+                    spec.burst_window,
+                    spec.burst_milli,
+                    spec.lat_min,
+                    spec.lat_max,
+                    spec.partition_period,
+                    spec.partition_len,
+                    spec.walk_retries,
+                    spec.route_retries,
+                    spec.fallback_after,
+                    spec.seed,
+                );
+            }
+            Action::ClearFaults => out.push_str("FC\n"),
         }
     }
     out
@@ -133,6 +154,30 @@ pub fn parse(s: &str) -> Result<Vec<Action>, String> {
                     key,
                 });
             }
+            "F" => {
+                // 11 fixed fields — field order is the struct order, and
+                // the trailing-token check below rejects any 12th field.
+                let parse_u32 = |p: Option<&str>| -> Result<u32, String> {
+                    p.ok_or_else(|| format!("line {lineno}: missing field"))?
+                        .parse::<u32>()
+                        .map_err(|e| format!("line {lineno}: {e}"))
+                };
+                let spec = dex_sim::msim::FaultSpec {
+                    loss_milli: parse_u32(parts.next())?,
+                    burst_window: parse_u32(parts.next())?,
+                    burst_milli: parse_u32(parts.next())?,
+                    lat_min: parse_u32(parts.next())?,
+                    lat_max: parse_u32(parts.next())?,
+                    partition_period: parse_u32(parts.next())?,
+                    partition_len: parse_u32(parts.next())?,
+                    walk_retries: parse_u32(parts.next())?,
+                    route_retries: parse_u32(parts.next())?,
+                    fallback_after: parse_u32(parts.next())?,
+                    seed: parse_u64(parts.next())?,
+                };
+                out.push(Action::SetFaults { spec });
+            }
+            "FC" => out.push(Action::ClearFaults),
             other => return Err(format!("line {lineno}: unknown tag {other:?}")),
         }
         if parts.next().is_some() {
@@ -169,6 +214,17 @@ mod tests {
                 from: NodeId(100),
                 key: 42,
             },
+            Action::SetFaults {
+                spec: dex_sim::msim::FaultSpec::zero()
+                    .with_loss(250)
+                    .with_burst(32, 100)
+                    .with_latency(1, 4)
+                    .with_partition(64, 8)
+                    .with_retries(5, 3)
+                    .with_fallback(2)
+                    .with_seed(0xfa57_1e57),
+            },
+            Action::ClearFaults,
         ];
         let s = to_string(&actions);
         assert_eq!(parse(&s).unwrap(), actions);
@@ -192,6 +248,13 @@ mod tests {
         assert!(parse("BD").is_err());
         assert!(parse("P 1 2").is_err());
         assert!(parse("G 1 2 3").is_err());
+        // F takes exactly 11 numeric fields; FC takes none.
+        assert!(parse("F 1 2 3 4 5 6 7 8 9 10").is_err()); // one short
+        assert!(parse("F 1 2 3 4 5 6 7 8 9 10 11 12").is_err()); // one extra
+        assert!(parse("F 1 2 3 4 5 6 7 8 9 ten 11").is_err());
+        assert!(parse("FC 1").is_err());
+        assert!(parse("F 0 0 0 0 0 0 0 0 0 0 0").is_ok());
+        assert!(parse("FC").is_ok());
     }
 
     #[test]

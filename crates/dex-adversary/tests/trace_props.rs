@@ -5,14 +5,36 @@
 
 use dex_adversary::{trace, Action};
 use dex_graph::ids::NodeId;
+use dex_sim::msim::FaultSpec;
+use dex_sim::rng::splitmix64;
 use proptest::prelude::*;
+
+/// Derive a full arbitrary `FaultSpec` from one u64 — every field is an
+/// independent splitmix64 slice, so the roundtrip proptest exercises the
+/// whole 11-field `F` record without a second tuple strategy.
+fn spec_from(x: u64) -> FaultSpec {
+    let w = |i: u64| splitmix64(x ^ i);
+    FaultSpec {
+        loss_milli: (w(1) % 1001) as u32,
+        burst_window: (w(2) % 256) as u32,
+        burst_milli: (w(3) % 1001) as u32,
+        lat_min: (w(4) % 8) as u32,
+        lat_max: (w(5) % 16) as u32,
+        partition_period: (w(6) % 512) as u32,
+        partition_len: (w(7) % 64) as u32,
+        walk_retries: (w(8) % 10) as u32,
+        route_retries: (w(9) % 10) as u32,
+        fallback_after: (w(10) % 6) as u32,
+        seed: w(11),
+    }
+}
 
 /// Strategy over one arbitrary action of the full grammar.
 fn arb_action() -> impl Strategy<Value = Action> {
     // (selector, a, b, c, pairs) — the selector picks the variant, the
     // rest are recycled as its fields so one tuple strategy covers all.
     (
-        0u8..6,
+        0u8..8,
         any::<u64>(),
         any::<u64>(),
         any::<u64>(),
@@ -35,10 +57,12 @@ fn arb_action() -> impl Strategy<Value = Action> {
                 key: b,
                 value: c,
             },
-            _ => Action::DhtGet {
+            5 => Action::DhtGet {
                 from: NodeId(a),
                 key: b,
             },
+            6 => Action::SetFaults { spec: spec_from(a) },
+            _ => Action::ClearFaults,
         })
 }
 

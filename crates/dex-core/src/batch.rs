@@ -43,7 +43,13 @@ impl DexNetwork {
         self.validate_insert_batch(joins);
         self.step_no += 1;
         self.net.begin_step();
-        let used_type2 = if joins.len() >= PAR_BATCH_MIN && !self.crossover_to_seq(joins.len()) {
+        // Under a fault spec every walk runs on the message schedule; the
+        // wave engine's speculative planning assumes the centralized walk
+        // oracle, so faulted batches heal through the sequential path.
+        let used_type2 = if joins.len() >= PAR_BATCH_MIN
+            && self.faults.is_none()
+            && !self.crossover_to_seq(joins.len())
+        {
             let mut ops = std::mem::take(&mut self.heal.par.ops);
             ops.clear();
             ops.extend(joins.iter().map(|&(u, v)| BatchOp::Insert { u, v }));
@@ -161,7 +167,9 @@ impl DexNetwork {
         self.validate_delete_batch(victims);
         self.step_no += 1;
         self.net.begin_step();
-        let used_type2 = if victims.len() >= PAR_BATCH_MIN && !self.crossover_to_seq(victims.len())
+        let used_type2 = if victims.len() >= PAR_BATCH_MIN
+            && self.faults.is_none()
+            && !self.crossover_to_seq(victims.len())
         {
             let mut ops = std::mem::take(&mut self.heal.par.ops);
             ops.clear();
@@ -248,6 +256,9 @@ impl DexNetwork {
     pub(crate) fn heal_one_insert(&mut self, u: NodeId, v: NodeId) -> bool {
         use dex_sim::rng::Purpose;
         use dex_sim::tokens::random_walk_search;
+        if self.faults.is_some() {
+            return self.heal_one_insert_faulted(u, v);
+        }
         let walk_len = self.cfg.walk_len(self.cycle.p());
         for attempt in 0..self.cfg.max_walk_retries {
             self.walk_stats.attempts += 1;
@@ -307,6 +318,9 @@ impl DexNetwork {
     ) -> bool {
         use dex_sim::rng::Purpose;
         use dex_sim::tokens::random_walk_search;
+        if self.faults.is_some() {
+            return self.heal_one_delete_core_faulted(victim, rescuer, zs);
+        }
         crate::fabric::adopt_vertices(
             &mut self.net,
             &mut self.map,

@@ -70,6 +70,13 @@ pub struct DexNetwork {
     /// Waved batch-heal statistics (waves, serial fallbacks, wave-size
     /// histogram), accumulated across batch steps.
     pub batch_stats: crate::parheal::BatchHealStats,
+    /// When set, type-1 walks and DHT routing run on the message-level
+    /// simulator ([`dex_sim::msim`]) under this fault model instead of
+    /// the centralized fast path (see [`crate::faulted`]). `None` (the
+    /// default) keeps the centralized execution.
+    pub(crate) faults: Option<dex_sim::msim::FaultSpec>,
+    /// Fault-layer counters accumulated while `faults` is set.
+    pub(crate) fault_stats: dex_sim::msim::FaultStats,
 }
 
 impl DexNetwork {
@@ -109,6 +116,8 @@ impl DexNetwork {
             heal_threads: 1,
             adaptive_crossover: false,
             batch_stats: crate::parheal::BatchHealStats::default(),
+            faults: None,
+            fault_stats: dex_sim::msim::FaultStats::default(),
         }
     }
 
@@ -222,6 +231,9 @@ impl DexNetwork {
 
     /// Normal-mode insertion recovery. Returns the recovery kind used.
     fn insert_normal(&mut self, u: NodeId, v: NodeId) -> RecoveryKind {
+        if self.faults.is_some() {
+            return self.insert_normal_faulted(u, v);
+        }
         let walk_len = self.cfg.walk_len(self.cycle.p());
         let mut flooded = false;
         for attempt in 0..self.cfg.max_walk_retries {
@@ -386,6 +398,9 @@ impl DexNetwork {
         zs: &[VertexId],
         touched: &mut Vec<NodeId>,
     ) -> RecoveryKind {
+        if self.faults.is_some() {
+            return self.delete_normal_core_faulted(rescuer, zs, touched);
+        }
         // Rescuer adopts the victim's vertices and restores their edges.
         debug_assert!(!zs.is_empty(), "every node simulates >= 1 vertex");
         fabric::adopt_vertices(

@@ -51,6 +51,14 @@ impl DhtStore {
     pub fn hashed_under(&self) -> Option<u64> {
         self.hashed_under
     }
+
+    /// All stored pairs, sorted by key — a canonical representation for
+    /// differential end-state comparison.
+    pub fn entries_sorted(&self) -> Vec<(Key, Value)> {
+        let mut v: Vec<(Key, Value)> = self.entries.iter().map(|(&k, &val)| (k, val)).collect();
+        v.sort_unstable();
+        v
+    }
 }
 
 /// `h_s(k)`: hash a key to a vertex of the current cycle.
@@ -76,8 +84,17 @@ impl DexNetwork {
     pub fn dht_insert(&mut self, from: NodeId, key: Key, value: Value) -> StepMetrics {
         self.net.begin_step();
         self.migrate_if_rehashed();
-        self.route_dht(from, key);
-        self.dht.entries.insert(key, value);
+        let delivered = if self.faults.is_some() {
+            // Message-level routing: an abandoned put is simply not
+            // applied (graceful degradation, counted in `dht_abandoned`).
+            self.route_dht_faulted(from, key, false)
+        } else {
+            self.route_dht(from, key);
+            true
+        };
+        if delivered {
+            self.dht.entries.insert(key, value);
+        }
         self.net.end_step(StepKind::Insert, RecoveryKind::Type1)
     }
 
@@ -87,10 +104,21 @@ impl DexNetwork {
     pub fn dht_lookup(&mut self, from: NodeId, key: Key) -> (Option<Value>, StepMetrics) {
         self.net.begin_step();
         self.migrate_if_rehashed();
-        let hops = self.route_dht(from, key);
-        self.net.charge_rounds(hops); // reply path (same length)
-        self.net.charge_messages(hops);
-        let v = self.dht.entries.get(&key).copied();
+        let delivered = if self.faults.is_some() {
+            // Request + reply as one round-trip route; an abandoned
+            // lookup reports `None` (counted in `dht_abandoned`).
+            self.route_dht_faulted(from, key, true)
+        } else {
+            let hops = self.route_dht(from, key);
+            self.net.charge_rounds(hops); // reply path (same length)
+            self.net.charge_messages(hops);
+            true
+        };
+        let v = if delivered {
+            self.dht.entries.get(&key).copied()
+        } else {
+            None
+        };
         let m = self.net.end_step(StepKind::Insert, RecoveryKind::Type1);
         (v, m)
     }

@@ -1,0 +1,567 @@
+//! Fault-injected execution: type-1 healing walks and DHT routing on
+//! the message-level simulator ([`dex_sim::msim`]).
+//!
+//! With a [`FaultSpec`] installed ([`DexNetwork::set_faults`]), every
+//! type-1 walk and every DHT route runs as actual scheduled messages —
+//! subject to loss, latency skew and partitions — instead of the
+//! centralized fast path. The adapter preserves the protocol shape of
+//! each centralized heal loop exactly (flood-once vs flood-per-miss,
+//! load-update batching, RNG stream keying), so a **zero** fault spec is
+//! bit-identical to running with no spec at all: same end state, same
+//! per-step rounds and messages (`tests/msim_diff.rs` enforces this at
+//! several thread counts).
+//!
+//! Under real faults, three robustness layers engage:
+//!
+//! 1. **transport retries** — inside the simulator, a lost token fires
+//!    its timeout and the operation relaunches with deterministic
+//!    exponential backoff, up to the spec's retry budget (each
+//!    re-initiation draws a fresh RNG stream keyed by the retry index);
+//! 2. **heal fallback** — a heal step whose walks keep getting lost
+//!    (more than `fallback_after` abandoned walks) stops walking and
+//!    heals to the flood's witness node — the nearest member of the
+//!    target set, discovered by the (reliable) flood primitive — so a
+//!    heal step always terminates with the invariants intact;
+//! 3. **graceful degradation** — DHT operations whose route is lost
+//!    terminally are abandoned and counted ([`FaultStats`]'s
+//!    `dht_abandoned`): a put is not applied, a get returns `None`.
+//!
+//! Floods (Algorithm 4.4's computeSpare/computeLow) are modelled as
+//! reliable: they are the protocol's barrier/aggregation primitive, and
+//! simulating their per-edge gossip under loss is out of scope here —
+//! the honest reading is "loss applies to point-to-point token traffic".
+
+use crate::config::RecoveryMode;
+use crate::dex::DexNetwork;
+use crate::dht::{hash_to_vertex, Key};
+use dex_graph::ids::{NodeId, VertexId};
+use dex_sim::flood::flood_count_with;
+use dex_sim::msim::{self, FaultSpec, FaultStats, OpStatus, RouteOp, WalkOp};
+use dex_sim::rng::{splitmix64, Purpose};
+use dex_sim::{RecoveryKind, StepKind, StepMetrics};
+
+/// Context word appended for transport-level re-initiations: each retry
+/// generation draws a fresh, deterministic RNG stream (`"RETRY" | r`).
+const RETRY_WORD: u64 = 0x5245_5452_5900;
+
+/// What a faulted walk is searching for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WalkGoal {
+    /// A node in Spare (insertion healing).
+    Spare,
+    /// A node in Low (deletion healing).
+    Low,
+}
+
+/// Outcome of one faulted walk attempt.
+pub(crate) struct FaultedWalk {
+    /// Accepting node, if the walk hit.
+    pub hit: Option<NodeId>,
+    /// The walk was abandoned: every transport retry lost its token.
+    /// (`false` + `hit: None` is a genuine protocol miss.)
+    pub lost: bool,
+}
+
+impl DexNetwork {
+    /// Install (or clear) the fault model. While set, type-1 walks and
+    /// DHT routing run on the message-level simulator (see the module
+    /// docs). Requires simplified mode with no staggered operation in
+    /// progress (the staggered machinery assumes one event per step).
+    pub fn set_faults(&mut self, spec: Option<FaultSpec>) {
+        if spec.is_some() {
+            assert_eq!(
+                self.cfg.mode,
+                RecoveryMode::Simplified,
+                "fault injection requires simplified mode"
+            );
+            assert!(
+                self.stag.is_none(),
+                "cannot install faults mid staggered operation"
+            );
+        }
+        self.faults = spec;
+    }
+
+    /// [`Self::set_faults`] recorded as its own (cost-free) step in the
+    /// metric history, so replayed traces keep a contiguous step ledger.
+    /// Does **not** advance the protocol's `step_no` — the RNG streams
+    /// of subsequent heals must not depend on how often the fault model
+    /// was reconfigured.
+    pub fn set_faults_step(&mut self, spec: Option<FaultSpec>) -> StepMetrics {
+        self.net.begin_step();
+        self.set_faults(spec);
+        self.net.end_step(StepKind::Config, RecoveryKind::Type1)
+    }
+
+    /// The installed fault model, if any.
+    pub fn faults(&self) -> Option<FaultSpec> {
+        self.faults
+    }
+
+    /// Fault-layer counters accumulated since bootstrap.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// Run one healing walk on the message schedule. `ctx` is exactly
+    /// the context the centralized path would key its stream with;
+    /// generation 0 replays that stream, so at zero faults the outcome
+    /// (hit, hops, charge) is bit-identical to
+    /// [`dex_sim::tokens::random_walk_search`].
+    fn walk_faulted(
+        &mut self,
+        start: NodeId,
+        exclude: Option<NodeId>,
+        goal: WalkGoal,
+        purpose: Purpose,
+        ctx: &[u64],
+    ) -> FaultedWalk {
+        let spec = self.faults.expect("walk_faulted without a fault spec");
+        let walk_len = self.cfg.walk_len(self.cycle.p());
+        let op_key = {
+            let mut acc = splitmix64(spec.seed ^ RETRY_WORD);
+            for &w in ctx {
+                acc = splitmix64(acc ^ w);
+            }
+            acc
+        };
+        let ops = [WalkOp {
+            start,
+            max_len: walk_len,
+            exclude,
+            op_key,
+        }];
+        let (results, report) = {
+            let g = self.net.graph();
+            let map = &self.map;
+            let seeds = &self.seeds;
+            let accept = move |w: NodeId| match goal {
+                WalkGoal::Spare => map.is_spare(w),
+                WalkGoal::Low => map.is_low(w),
+            };
+            let mk_rng = |_: usize, retry: u32| {
+                if retry == 0 {
+                    seeds.stream(purpose, ctx)
+                } else {
+                    let mut ext = Vec::with_capacity(ctx.len() + 1);
+                    ext.extend_from_slice(ctx);
+                    ext.push(RETRY_WORD | retry as u64);
+                    seeds.stream(purpose, &ext)
+                }
+            };
+            msim::run_walks(g, &spec, &ops, accept, mk_rng, self.heal_threads)
+        };
+        self.net.charge_rounds(report.makespan);
+        self.net.charge_messages(report.messages);
+        self.fault_stats.merge(&report.stats);
+        let r = &results[0];
+        FaultedWalk {
+            hit: r.hit,
+            lost: r.status == OpStatus::Lost,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion healing (mirrors `insert_normal` / `heal_one_insert`)
+    // ------------------------------------------------------------------
+
+    /// Faulted single-insert recovery: same shape as `insert_normal`
+    /// (flood at most once per step, then keep retrying walks), plus the
+    /// lost-walk fallback.
+    pub(crate) fn insert_normal_faulted(&mut self, u: NodeId, v: NodeId) -> RecoveryKind {
+        let spec = self.faults.expect("faulted heal without a fault spec");
+        let mut flooded = false;
+        let mut lost = 0u32;
+        for attempt in 0..self.cfg.max_walk_retries {
+            self.walk_stats.attempts += 1;
+            let out = self.walk_faulted(
+                v,
+                Some(u),
+                WalkGoal::Spare,
+                Purpose::InsertWalk,
+                &[self.step_no, attempt],
+            );
+            if let Some(w) = out.hit {
+                self.walk_stats.hits += 1;
+                self.give_vertex_to_new_node(w, u, v);
+                return RecoveryKind::Type1;
+            }
+            if out.lost {
+                lost += 1;
+                if lost > spec.fallback_after {
+                    return match self.insert_fallback(u, v) {
+                        true => RecoveryKind::Type1,
+                        false => RecoveryKind::InflateSimple,
+                    };
+                }
+                continue;
+            }
+            self.walk_stats.misses += 1;
+            if flooded {
+                continue;
+            }
+            flooded = true;
+            let map = &self.map;
+            let res = flood_count_with(
+                &mut self.net,
+                v,
+                |w| map.is_spare(w),
+                &mut self.flood_scratch,
+            );
+            let n_prev = res.n.saturating_sub(1);
+            if !self.cfg.spare_sufficient(res.matching, n_prev) {
+                self.walk_stats.type2 += 1;
+                crate::type2_simple::inflate(self, Some((u, v)));
+                return RecoveryKind::InflateSimple;
+            }
+        }
+        panic!(
+            "faulted insertion walk failed {} times (n={}, p={})",
+            self.cfg.max_walk_retries,
+            self.n(),
+            self.cycle.p()
+        );
+    }
+
+    /// Faulted batch-insert healing: same shape as `heal_one_insert`
+    /// (flood on every miss). Returns whether type-2 was needed.
+    pub(crate) fn heal_one_insert_faulted(&mut self, u: NodeId, v: NodeId) -> bool {
+        let spec = self.faults.expect("faulted heal without a fault spec");
+        let mut lost = 0u32;
+        for attempt in 0..self.cfg.max_walk_retries {
+            self.walk_stats.attempts += 1;
+            let out = self.walk_faulted(
+                v,
+                Some(u),
+                WalkGoal::Spare,
+                Purpose::InsertWalk,
+                &[self.step_no, u.0, attempt],
+            );
+            if let Some(w) = out.hit {
+                self.walk_stats.hits += 1;
+                self.give_vertex_to_new_node(w, u, v);
+                return false;
+            }
+            if out.lost {
+                lost += 1;
+                if lost > spec.fallback_after {
+                    return !self.insert_fallback(u, v);
+                }
+                continue;
+            }
+            self.walk_stats.misses += 1;
+            let map = &self.map;
+            let res = flood_count_with(
+                &mut self.net,
+                v,
+                |w| map.is_spare(w),
+                &mut self.flood_scratch,
+            );
+            if !self
+                .cfg
+                .spare_sufficient(res.matching, res.n.saturating_sub(1))
+            {
+                self.walk_stats.type2 += 1;
+                crate::type2_simple::inflate(self, Some((u, v)));
+                return true;
+            }
+        }
+        panic!("faulted batch insertion starved (n={})", self.n());
+    }
+
+    /// Walk-free insert fallback after repeated walk loss: flood for the
+    /// spare set, heal to its witness (or inflate if spares ran out).
+    /// Returns `true` when type-1 healing sufficed.
+    fn insert_fallback(&mut self, u: NodeId, v: NodeId) -> bool {
+        let map = &self.map;
+        let res = flood_count_with(
+            &mut self.net,
+            v,
+            |w| map.is_spare(w),
+            &mut self.flood_scratch,
+        );
+        let n_prev = res.n.saturating_sub(1);
+        if !self.cfg.spare_sufficient(res.matching, n_prev) {
+            self.walk_stats.type2 += 1;
+            crate::type2_simple::inflate(self, Some((u, v)));
+            return false;
+        }
+        let w = res.witness.expect("spare_sufficient implies a spare node");
+        self.fault_stats.heal_fallbacks += 1;
+        self.walk_stats.hits += 1;
+        self.give_vertex_to_new_node(w, u, v);
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Deletion healing (mirrors `delete_normal_core` /
+    // `heal_one_delete_core`)
+    // ------------------------------------------------------------------
+
+    /// Faulted single-delete recovery: same shape as
+    /// `delete_normal_core` (re-flood after every miss; batched load
+    /// updates at the end), plus the lost-walk fallback.
+    pub(crate) fn delete_normal_core_faulted(
+        &mut self,
+        rescuer: NodeId,
+        zs: &[VertexId],
+        touched: &mut Vec<NodeId>,
+    ) -> RecoveryKind {
+        let spec = self.faults.expect("faulted heal without a fault spec");
+        debug_assert!(!zs.is_empty(), "every node simulates >= 1 vertex");
+        crate::fabric::adopt_vertices(
+            &mut self.net,
+            &mut self.map,
+            &self.cycle,
+            zs,
+            rescuer,
+            &mut self.heal.insts,
+        );
+        self.net.charge_messages(3 * zs.len() as u64);
+        self.net.charge_rounds(1);
+        touched.push(rescuer);
+        for (i, &z) in zs.iter().enumerate() {
+            let mut attempt = 0;
+            let mut lost = 0u32;
+            loop {
+                self.walk_stats.attempts += 1;
+                let out = self.walk_faulted(
+                    rescuer,
+                    None,
+                    WalkGoal::Low,
+                    Purpose::DeleteWalk,
+                    &[self.step_no, i as u64, attempt],
+                );
+                if let Some(w) = out.hit {
+                    self.walk_stats.hits += 1;
+                    self.move_to_low(z, rescuer, w, Some(touched));
+                    break;
+                }
+                if out.lost {
+                    lost += 1;
+                    if lost > spec.fallback_after {
+                        match self.delete_fallback(z, rescuer, Some(touched)) {
+                            true => break,
+                            false => return RecoveryKind::DeflateSimple,
+                        }
+                    }
+                } else {
+                    self.walk_stats.misses += 1;
+                    let map = &self.map;
+                    let res = flood_count_with(
+                        &mut self.net,
+                        rescuer,
+                        |w| map.is_low(w),
+                        &mut self.flood_scratch,
+                    );
+                    if !self.cfg.low_sufficient(res.matching, res.n) {
+                        self.walk_stats.type2 += 1;
+                        crate::type2_simple::deflate(self, rescuer);
+                        return RecoveryKind::DeflateSimple;
+                    }
+                }
+                attempt += 1;
+                assert!(
+                    attempt < self.cfg.max_walk_retries,
+                    "faulted deletion walk failed {} times",
+                    self.cfg.max_walk_retries
+                );
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        self.charge_load_updates(touched);
+        RecoveryKind::Type1
+    }
+
+    /// Faulted batch-delete healing: same shape as
+    /// `heal_one_delete_core` (no load-update batching; deflation
+    /// rehomes the remaining vertices). Returns whether type-2 was
+    /// needed.
+    pub(crate) fn heal_one_delete_core_faulted(
+        &mut self,
+        victim: NodeId,
+        rescuer: NodeId,
+        zs: &[VertexId],
+    ) -> bool {
+        let spec = self.faults.expect("faulted heal without a fault spec");
+        crate::fabric::adopt_vertices(
+            &mut self.net,
+            &mut self.map,
+            &self.cycle,
+            zs,
+            rescuer,
+            &mut self.heal.insts,
+        );
+        self.net.charge_messages(3 * zs.len() as u64);
+        self.net.charge_rounds(1);
+        let mut used_type2 = false;
+        for (i, &z) in zs.iter().enumerate() {
+            let mut attempt = 0u64;
+            let mut lost = 0u32;
+            loop {
+                self.walk_stats.attempts += 1;
+                let out = self.walk_faulted(
+                    rescuer,
+                    None,
+                    WalkGoal::Low,
+                    Purpose::DeleteWalk,
+                    &[self.step_no, victim.0, i as u64, attempt],
+                );
+                if let Some(w) = out.hit {
+                    self.walk_stats.hits += 1;
+                    self.move_to_low(z, rescuer, w, None);
+                    break;
+                }
+                if out.lost {
+                    lost += 1;
+                    if lost > spec.fallback_after {
+                        match self.delete_fallback(z, rescuer, None) {
+                            true => break,
+                            false => {
+                                used_type2 = true;
+                                break;
+                            }
+                        }
+                    }
+                } else {
+                    self.walk_stats.misses += 1;
+                    let map = &self.map;
+                    let res = flood_count_with(
+                        &mut self.net,
+                        rescuer,
+                        |w| map.is_low(w),
+                        &mut self.flood_scratch,
+                    );
+                    if !self.cfg.low_sufficient(res.matching, res.n) {
+                        self.walk_stats.type2 += 1;
+                        crate::type2_simple::deflate(self, rescuer);
+                        used_type2 = true;
+                        break;
+                    }
+                }
+                attempt += 1;
+                assert!(
+                    attempt < self.cfg.max_walk_retries,
+                    "faulted batch deletion starved"
+                );
+            }
+            if used_type2 {
+                break; // remaining vertices were redistributed by deflate
+            }
+        }
+        used_type2
+    }
+
+    /// Move vertex `z` from `rescuer` to the Low node `w` (no-op when the
+    /// rescuer itself was picked), recording `w` in `touched` when the
+    /// caller batches load updates.
+    fn move_to_low(
+        &mut self,
+        z: VertexId,
+        rescuer: NodeId,
+        w: NodeId,
+        touched: Option<&mut Vec<NodeId>>,
+    ) {
+        if w != rescuer {
+            crate::fabric::move_vertices(
+                &mut self.net,
+                &mut self.map,
+                &self.cycle,
+                &[z],
+                w,
+                &mut self.heal.insts,
+            );
+            self.net.charge_messages(4);
+            self.net.charge_rounds(1);
+            if let Some(t) = touched {
+                t.push(w);
+            }
+        }
+    }
+
+    /// Walk-free delete fallback after repeated walk loss: flood for the
+    /// low set, rehome `z` to its witness (or deflate if Low ran out).
+    /// Returns `true` when type-1 healing sufficed.
+    fn delete_fallback(
+        &mut self,
+        z: VertexId,
+        rescuer: NodeId,
+        touched: Option<&mut Vec<NodeId>>,
+    ) -> bool {
+        let map = &self.map;
+        let res = flood_count_with(
+            &mut self.net,
+            rescuer,
+            |w| map.is_low(w),
+            &mut self.flood_scratch,
+        );
+        if !self.cfg.low_sufficient(res.matching, res.n) {
+            self.walk_stats.type2 += 1;
+            crate::type2_simple::deflate(self, rescuer);
+            return false;
+        }
+        let w = res.witness.expect("low_sufficient implies a low node");
+        self.fault_stats.heal_fallbacks += 1;
+        self.walk_stats.hits += 1;
+        self.move_to_low(z, rescuer, w, touched);
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // DHT routing
+    // ------------------------------------------------------------------
+
+    /// Route a DHT message on the actual schedule: resolve the virtual
+    /// shortest path exactly as the centralized `route_dht` does, then
+    /// run the physical hop sequence as one [`RouteOp`] (round-trip for
+    /// lookups). Charges the run's makespan and sends; returns `false`
+    /// when the route was abandoned (counted in `dht_abandoned`).
+    pub(crate) fn route_dht_faulted(&mut self, from: NodeId, key: Key, round_trip: bool) -> bool {
+        let spec = self.faults.expect("faulted route without a fault spec");
+        let target = hash_to_vertex(key, self.cycle.p());
+        let start = *self
+            .map
+            .sim(from)
+            .iter()
+            .min()
+            .expect("initiator simulates a vertex");
+        let route = &mut self.heal.route;
+        self.cycle
+            .shortest_path_with(start, target, &mut route.bfs, &mut route.vpath);
+        // Physical node path: the owner sequence of the virtual path with
+        // consecutive duplicates collapsed (same-node virtual hops are
+        // free local computation).
+        let mut path: Vec<NodeId> = Vec::with_capacity(route.vpath.len());
+        path.push(self.map.owner_of(route.vpath[0]));
+        for &zv in &route.vpath[1..] {
+            let cur = self.map.owner_of(zv);
+            if cur != *path.last().expect("path starts non-empty") {
+                debug_assert!(
+                    self.net
+                        .graph()
+                        .contains_edge(*path.last().expect("non-empty"), cur),
+                    "virtual path step not physical"
+                );
+                path.push(cur);
+            }
+        }
+        let op_key = splitmix64(
+            splitmix64(spec.seed ^ key) ^ (self.net.steps_completed().wrapping_mul(0x9e37)),
+        );
+        let ops = [RouteOp {
+            path,
+            round_trip,
+            op_key,
+        }];
+        let (results, report) = msim::run_routes(self.net.graph(), &spec, &ops, self.heal_threads);
+        self.net.charge_rounds(report.makespan);
+        self.net.charge_messages(report.messages);
+        self.fault_stats.merge(&report.stats);
+        let delivered = results[0].status == OpStatus::Delivered;
+        if !delivered {
+            self.fault_stats.dht_abandoned += 1;
+        }
+        delivered
+    }
+}

@@ -37,6 +37,7 @@ pub mod config;
 pub mod dex;
 pub mod dht;
 pub mod fabric;
+pub mod faulted;
 pub mod invariants;
 pub mod mapping;
 pub mod parheal;
@@ -47,4 +48,5 @@ pub mod type2_simple;
 
 pub use config::{DexConfig, RecoveryMode};
 pub use dex::{DexNetwork, WalkStats};
+pub use dex_sim::msim::{FaultSpec, FaultStats};
 pub use mapping::VirtualMapping;

@@ -28,8 +28,15 @@ pub struct Knob {
     pub name: &'static str,
     /// Human-readable default, for docs and `--help`-style listings.
     pub default: &'static str,
-    /// What the knob controls. Every knob must affect scheduling only —
-    /// never computed results (the bit-identity contract).
+    /// What the knob controls. A knob is one of two kinds, and the doc
+    /// must make clear which: a **scheduling** knob (thread counts,
+    /// pipeline depth — may change the execution schedule but never a
+    /// computed byte, the bit-identity contract), or a **bench-harness
+    /// experiment input** (e.g. an extra fault-curve point) that library
+    /// crates never read — only `dex-bench` binaries consume it, and its
+    /// value is recorded in the output's config header so the run stays
+    /// reproducible. CI leaves experiment inputs unset, so byte-diff
+    /// checks are unaffected.
     pub doc: &'static str,
 }
 
@@ -40,6 +47,34 @@ pub const DEX_EXEC_THREADS: Knob = Knob {
     default: "available_parallelism, clamped to [1, 16]",
     doc: "executor thread budget: worker count used by auto/unset thread \
           knobs across the workspace; explicit per-call counts bypass it",
+};
+
+/// Extra loss-curve point for `bench_faults` (experiment input).
+pub const DEX_FAULT_LOSS: Knob = Knob {
+    name: "DEX_FAULT_LOSS",
+    default: "unset (curve uses the built-in loss grid only)",
+    doc: "bench-harness experiment input: an extra per-send loss probability \
+          (in 1/1000 units, 0..=1000) appended to bench_faults' loss grid; \
+          library crates never read it, and its value lands in the output \
+          config header",
+};
+
+/// Retry-budget override for `bench_faults` (experiment input).
+pub const DEX_FAULT_RETRIES: Knob = Knob {
+    name: "DEX_FAULT_RETRIES",
+    default: "unset (FaultSpec::zero's budgets: 6 walk / 6 route)",
+    doc: "bench-harness experiment input: overrides both the walk and route \
+          re-initiation budgets of every fault spec bench_faults builds; \
+          library crates never read it",
+};
+
+/// Fault-stream seed override for `bench_faults` (experiment input).
+pub const DEX_FAULT_SEED: Knob = Knob {
+    name: "DEX_FAULT_SEED",
+    default: "unset (bench_faults derives fault seeds from --seed)",
+    doc: "bench-harness experiment input: overrides the fault-stream seed of \
+          every fault spec bench_faults builds (the protocol's SeedSpace is \
+          unaffected); library crates never read it",
 };
 
 /// Memory-level-parallel kernel switch (`dex_graph::par::mlp_enabled`).
@@ -61,7 +96,14 @@ pub const DEX_WALK_K: Knob = Knob {
 
 /// Every knob the workspace honors. Keep sorted by name; the registry
 /// test asserts uniqueness.
-pub const REGISTRY: &[Knob] = &[DEX_EXEC_THREADS, DEX_MLP_KERNELS, DEX_WALK_K];
+pub const REGISTRY: &[Knob] = &[
+    DEX_EXEC_THREADS,
+    DEX_FAULT_LOSS,
+    DEX_FAULT_RETRIES,
+    DEX_FAULT_SEED,
+    DEX_MLP_KERNELS,
+    DEX_WALK_K,
+];
 
 /// Read a declared knob from the process environment. This is the single
 /// `std::env::var` call in the workspace (enforced by `dex-lint`'s
@@ -102,6 +144,27 @@ pub fn walk_k() -> Option<usize> {
         .filter(|&k| k > 0)
 }
 
+/// `DEX_FAULT_LOSS` parsed: a loss probability in 1/1000 units, clamped
+/// to the valid `0..=1000` range; `None` when unset or malformed.
+pub fn fault_loss() -> Option<u32> {
+    raw(&DEX_FAULT_LOSS)?
+        .trim()
+        .parse::<u32>()
+        .ok()
+        .map(|m| m.min(1000))
+}
+
+/// `DEX_FAULT_RETRIES` parsed: a retry budget (0 disables re-initiation),
+/// else `None`.
+pub fn fault_retries() -> Option<u32> {
+    raw(&DEX_FAULT_RETRIES)?.trim().parse::<u32>().ok()
+}
+
+/// `DEX_FAULT_SEED` parsed: a u64 fault-stream seed, else `None`.
+pub fn fault_seed() -> Option<u64> {
+    raw(&DEX_FAULT_SEED)?.trim().parse::<u64>().ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +200,17 @@ mod tests {
             assert!(k > 0);
         }
         let _ = mlp_kernels();
+        if let Some(m) = fault_loss() {
+            assert!(m <= 1000);
+        }
+        let _ = fault_retries();
+        let _ = fault_seed();
+    }
+
+    #[test]
+    fn registry_is_sorted_by_name() {
+        for w in REGISTRY.windows(2) {
+            assert!(w[0].name < w[1].name, "{} before {}", w[0].name, w[1].name);
+        }
     }
 }

@@ -49,6 +49,12 @@ pub struct FloodResult {
     pub rounds: u64,
     /// Messages charged.
     pub messages: u64,
+    /// A deterministic representative of the predicate set: the matching
+    /// node minimizing (BFS distance from the root, node id). The
+    /// convergecast can carry one candidate id at no extra asymptotic
+    /// cost; the fault-injected healer uses it as a walk-free fallback
+    /// target when repeated walks are lost.
+    pub witness: Option<NodeId>,
 }
 
 /// Flood from `root`, count nodes satisfying `pred`, converge-cast back.
@@ -66,7 +72,7 @@ pub fn flood_count_with(
     pred: impl Fn(NodeId) -> bool,
     scratch: &mut FloodScratch,
 ) -> FloodResult {
-    let (n, matching, ecc, broadcast_msgs) = {
+    let (n, matching, ecc, broadcast_msgs, witness) = {
         let g = net.graph();
         let root_slot = g
             .slot_of(root)
@@ -80,12 +86,17 @@ pub fn flood_count_with(
         let mut ecc = 0u32;
         let mut broadcast_msgs = 0u64;
         let mut matching = 0usize;
+        let mut witness: Option<(u32, NodeId)> = None;
         while let Some(u) = scratch.queue.pop_front() {
             let du = scratch.dist[u as usize];
             ecc = ecc.max(du);
             reached += 1;
             if pred(g.id_of_slot(u)) {
                 matching += 1;
+                let cand = (du, g.id_of_slot(u));
+                if witness.is_none_or(|best| cand < best) {
+                    witness = Some(cand);
+                }
             }
             // On first receipt a node forwards to all neighbors (except the
             // sender); we charge its full degree minus one for non-roots,
@@ -106,7 +117,13 @@ pub fn flood_count_with(
                 }
             }
         }
-        (reached, matching, ecc, broadcast_msgs)
+        (
+            reached,
+            matching,
+            ecc,
+            broadcast_msgs,
+            witness.map(|(_, id)| id),
+        )
     };
     let convergecast_msgs = (n as u64).saturating_sub(1);
     let rounds = 2 * ecc as u64;
@@ -118,6 +135,7 @@ pub fn flood_count_with(
         matching,
         rounds,
         messages,
+        witness,
     }
 }
 
@@ -199,6 +217,23 @@ mod tests {
         let c = flood_count_with(&mut net, NodeId(0), |u| u.0 < 6, &mut scratch);
         assert_eq!(c.n, 11);
         assert_eq!(c.matching, 6);
+        net.end_step(StepKind::Insert, RecoveryKind::Type1);
+    }
+
+    #[test]
+    fn witness_is_nearest_matching_node_lowest_id() {
+        let mut net = ring_net(10);
+        net.begin_step();
+        // pred = odd ids; from root 0 the nearest odd nodes are 1 and 9
+        // (both at distance 1) — the witness is the lower id.
+        let r = flood_count(&mut net, NodeId(0), |u| u.0 % 2 == 1);
+        assert_eq!(r.witness, Some(NodeId(1)));
+        // No matching node: no witness.
+        let r2 = flood_count(&mut net, NodeId(0), |u| u.0 > 100);
+        assert_eq!(r2.witness, None);
+        // Root matches: the witness is the root itself (distance 0).
+        let r3 = flood_count(&mut net, NodeId(4), |_| true);
+        assert_eq!(r3.witness, Some(NodeId(4)));
         net.end_step(StepKind::Insert, RecoveryKind::Type1);
     }
 }

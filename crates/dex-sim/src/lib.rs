@@ -25,10 +25,12 @@
 
 pub mod flood;
 pub mod metrics;
+pub mod msim;
 pub mod network;
 pub mod parallel;
 pub mod rng;
 pub mod tokens;
 
 pub use metrics::{RecoveryKind, StepAggregate, StepKind, StepLog, StepMetrics, Summary};
+pub use msim::{FaultSpec, FaultStats, OpResult, OpStatus, RouteOp, RunReport, WalkOp};
 pub use network::{HistoryMode, Network, StepTotals};

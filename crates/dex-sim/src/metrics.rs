@@ -15,6 +15,9 @@ pub enum StepKind {
     BatchInsert(u32),
     /// Batch of `k` deletions (Sect. 5 extension).
     BatchDelete(u32),
+    /// Runtime reconfiguration (fault spec installed or cleared) —
+    /// charges nothing but keeps the step ledger contiguous.
+    Config,
 }
 
 /// Which recovery flavour the algorithm used in a step.

@@ -125,6 +125,17 @@ pub enum Phase {
         /// Probability a step is an insertion.
         p_insert: f64,
     },
+    /// Install a message-level fault model: every subsequent phase runs on
+    /// the event-driven simulator ([`dex_sim::msim`]) under these faults
+    /// until a [`Phase::FaultsOff`] restores centralized execution. The
+    /// spec lands in the trial's trace as an `F` record, so the whole
+    /// fault campaign replays bit-identically.
+    Faults {
+        /// Loss/latency/partition/retry parameters.
+        spec: dex_sim::msim::FaultSpec,
+    },
+    /// Remove the installed fault model (back to centralized execution).
+    FaultsOff,
 }
 
 /// A named, ordered composition of phases.
@@ -166,6 +177,7 @@ impl Scenario {
                 Phase::Growth { steps } => *steps,
                 Phase::Shrink { steps, .. } => *steps,
                 Phase::Churn { steps, .. } => *steps,
+                Phase::Faults { .. } | Phase::FaultsOff => 1,
             })
             .sum()
     }

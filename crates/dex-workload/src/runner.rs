@@ -120,8 +120,13 @@ pub struct TrialReport {
     /// Sampled λ₂ trajectory (index 0 is the bootstrap network).
     pub lambda2: Vec<f64>,
     /// DHT lookups whose result disagreed with the shadow oracle
-    /// (always 0 unless the DHT is broken).
+    /// (always 0 unless the DHT is broken; abandoned operations under an
+    /// installed fault spec are excluded — see [`dex_core::FaultStats`]).
     pub dht_mismatches: u64,
+    /// Message-level fault counters accumulated across every
+    /// [`Phase::Faults`](crate::Phase::Faults) span of the trial (all
+    /// zero for fault-free scenarios).
+    pub fault_stats: dex_core::FaultStats,
     /// Network size at the end of the run.
     pub final_n: usize,
 }
@@ -198,6 +203,7 @@ pub fn run_scenario(
         trial,
         seed,
         final_n: t.dex.n(),
+        fault_stats: t.dex.fault_stats(),
         actions: t.actions,
         metrics: t.metrics,
         log: t.log,
@@ -305,6 +311,8 @@ impl Trial {
                     self.apply(a);
                 }
             }
+            Phase::Faults { spec } => self.apply(Action::SetFaults { spec }),
+            Phase::FaultsOff => self.apply(Action::ClearFaults),
             Phase::Churn { steps, p_insert } => {
                 for _ in 0..steps {
                     use rand::Rng as _;
@@ -324,18 +332,28 @@ impl Trial {
 
     /// Apply one action through the shared dispatch, meter it, maintain
     /// the DHT shadow oracle, and sample the λ₂ trajectory on schedule.
+    ///
+    /// Under an installed fault spec a DHT operation can be *abandoned*
+    /// (route lost after exhausting its retry budget — graceful
+    /// degradation, visible in `FaultStats::dht_abandoned`). An abandoned
+    /// put was never applied, so the shadow oracle must not record it; an
+    /// abandoned get returns `None` by protocol, not by store content, so
+    /// it is excluded from the mismatch comparison.
     fn apply(&mut self, a: Action) {
+        let abandoned_before = self.dex.fault_stats().dht_abandoned;
         let m = match &a {
             Action::DhtGet { from, key } => {
                 let (got, m) = self.dex.dht_lookup(*from, *key);
-                if got != self.shadow.get(key).copied() {
+                let abandoned = self.dex.fault_stats().dht_abandoned > abandoned_before;
+                if !abandoned && got != self.shadow.get(key).copied() {
                     self.dht_mismatches += 1;
                 }
                 m
             }
             Action::DhtPut { from, key, value } => {
                 let m = self.dex.dht_insert(*from, *key, *value);
-                if self.shadow.insert(*key, *value).is_none() {
+                let abandoned = self.dex.fault_stats().dht_abandoned > abandoned_before;
+                if !abandoned && self.shadow.insert(*key, *value).is_none() {
                     self.known_keys.push(*key);
                 }
                 m
@@ -567,6 +585,71 @@ mod tests {
             messages,
             r.metrics.iter().map(|m| m.messages).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn faulted_scenario_degrades_gracefully_and_stays_deterministic() {
+        // Heavy loss plus latency skew in the middle of a mixed workload:
+        // the network must stay structurally sound, the shadow oracle must
+        // stay consistent (abandoned ops excluded by construction), the
+        // fault machinery must demonstrably engage, and the whole thing
+        // must be thread-count invariant.
+        let spec = dex_core::FaultSpec::zero()
+            .with_loss(450)
+            .with_latency(1, 4)
+            .with_burst(24, 150)
+            .with_retries(4, 3)
+            .with_fallback(1)
+            .with_seed(0x10ad);
+        let sc = Scenario::new("lossy-campaign")
+            .phase(Phase::FlashCrowd {
+                waves: 2,
+                wave_size: 8,
+            })
+            .phase(Phase::Faults { spec })
+            .phase(Phase::Churn {
+                steps: 24,
+                p_insert: 0.5,
+            })
+            .phase(Phase::DhtMix {
+                ops: 30,
+                read_pct: 50,
+                keyspace: 1 << 10,
+            })
+            .phase(Phase::FaultsOff)
+            .phase(Phase::Churn {
+                steps: 10,
+                p_insert: 0.5,
+            });
+        let mut o = opts();
+        o.trials = 2;
+        let reports = run_trials(&sc, &o);
+        for r in &reports {
+            assert_eq!(r.dht_mismatches, 0, "trial {}", r.trial);
+            let fs = &r.fault_stats;
+            assert!(
+                fs.sent > fs.delivered,
+                "trial {}: loss never fired",
+                r.trial
+            );
+            assert!(fs.timeouts > 0, "trial {}: no stall detected", r.trial);
+        }
+        // Bit-identical across trial fan-out and planner widths.
+        o.check_invariants = false;
+        o.threads = 1;
+        o.heal_threads = 1;
+        let seq = run_trials(&sc, &o);
+        o.threads = 8;
+        o.heal_threads = 8;
+        let par = run_trials(&sc, &o);
+        for (a, b) in seq.iter().zip(par.iter()) {
+            assert_eq!(a.actions, b.actions, "faulted trace diverged");
+            assert_eq!(a.fault_stats, b.fault_stats, "fault counters diverged");
+            assert_eq!(a.final_n, b.final_n);
+        }
+        // And the fault phases survive a trace round trip.
+        let text = trace::to_string(&seq[0].actions);
+        assert_eq!(trace::parse(&text).unwrap(), seq[0].actions);
     }
 
     #[test]
