@@ -2,7 +2,7 @@
 //! protocol under message loss, latency skew, and partitions, emitted to
 //! `BENCH_faults.json`.
 //!
-//! Three sections:
+//! Six sections:
 //!
 //! * `percolation` — engine-level delivery curve: many walk and route
 //!   operations on a frozen bootstrap topology, swept over the loss grid
@@ -13,6 +13,15 @@
 //!   pooled per-step percentiles, λ₂ before/after, delivery rate, and
 //!   DHT success rate (abandoned operations are graceful degradation,
 //!   not data loss — the shadow oracle still must never mismatch);
+//! * `flood_degradation` — flood-aggregate curve: complete rate, partial
+//!   count error, and witness rate of message-scheduled floods with the
+//!   spec's re-flood budget at each loss point;
+//! * `type2_degradation` — inflate/deflate coordination curve: insert-
+//!   heavy growth forces type-2 rebuilds whose coordination rolls back
+//!   and re-initiates under loss (rollback rate per attempt);
+//! * `wave_vs_sequential` — waved vs sequential rounds-to-heal for
+//!   identical batch scripts under 35% loss, with the bit-identity of
+//!   the healed networks asserted;
 //! * `attacks` — two scenario-engine attack families (flash crowd,
 //!   partition-then-heal) re-run under loss with full structural
 //!   invariant checks after every step.
@@ -117,6 +126,8 @@ fn fault_stats_json(fs: &FaultStats) -> String {
         "{{\"sent\": {}, \"delivered\": {}, \"lost_random\": {}, \"lost_burst\": {}, \
          \"lost_partition\": {}, \"timeouts\": {}, \"reinitiations\": {}, \"walks_lost\": {}, \
          \"routes_lost\": {}, \"heal_fallbacks\": {}, \"dht_abandoned\": {}, \
+         \"flood_retries\": {}, \"floods_partial\": {}, \"type2_rollbacks\": {}, \
+         \"type2_reinitiations\": {}, \"wave_replans\": {}, \
          \"delivery_rate\": {:.6}}}",
         fs.sent,
         fs.delivered,
@@ -129,6 +140,11 @@ fn fault_stats_json(fs: &FaultStats) -> String {
         fs.routes_lost,
         fs.heal_fallbacks,
         fs.dht_abandoned,
+        fs.flood_retries,
+        fs.floods_partial,
+        fs.type2_rollbacks,
+        fs.type2_reinitiations,
+        fs.wave_replans,
         fs.delivery_rate(),
     )
 }
@@ -261,6 +277,168 @@ fn degradation_point(loss: u32, opts: &RunOptions, smoke: bool) -> (String, Step
     (json, agg)
 }
 
+/// Engine-level flood degradation point: `k` flood-aggregates from
+/// distinct roots on the frozen bootstrap topology, each with the spec's
+/// re-flood budget. Reports how gracefully the count degrades: complete
+/// rate, mean partial-count error vs the true size, witness-found rate,
+/// and the new flood counters.
+fn flood_point(
+    g: &dex::graph::MultiGraph,
+    loss: u32,
+    seed: u64,
+    k: usize,
+    threads: usize,
+) -> String {
+    let spec = spec_for(loss, seed);
+    let nodes = g.nodes_sorted();
+    let n = nodes.len() as f64;
+    let pred = |u: NodeId| splitmix64(u.0 ^ seed ^ 0x5e7).is_multiple_of(8);
+    let mut fs = FaultStats::default();
+    let (mut complete, mut witnesses) = (0usize, 0usize);
+    let (mut err_sum, mut makespan_sum) = (0.0f64, 0u64);
+    for i in 0..k {
+        let root = nodes[(splitmix64(seed ^ 0xf10d ^ i as u64) % nodes.len() as u64) as usize];
+        let op_key = splitmix64(seed ^ 0xf1f1 ^ i as u64);
+        let (out, report) =
+            msim::run_flood(g, &spec, root, pred, op_key, spec.flood_retries, threads);
+        if out.complete {
+            complete += 1;
+        }
+        if out.witness.is_some() {
+            witnesses += 1;
+        }
+        err_sum += (n - out.n as f64).abs() / n;
+        makespan_sum += report.makespan;
+        fs.merge(&report.stats);
+    }
+    if loss == 0 {
+        assert_eq!(complete, k, "zero loss left a flood incomplete");
+        assert_eq!(err_sum, 0.0, "zero loss miscounted");
+    }
+    format!(
+        "{{\"loss_milli\": {loss}, \"floods\": {k}, \
+         \"complete_rate\": {:.6}, \"partial_count_error\": {:.6}, \
+         \"witness_rate\": {:.6}, \"mean_makespan\": {:.4}, \"faults\": {}}}",
+        complete as f64 / k as f64,
+        err_sum / k as f64,
+        witnesses as f64 / k as f64,
+        makespan_sum as f64 / k as f64,
+        fault_stats_json(&fs),
+    )
+}
+
+/// Protocol-level type-2 degradation point: insert-heavy growth from a
+/// tiny bootstrap runs the spare pool dry, forcing inflations whose
+/// message-scheduled coordination must roll back and re-initiate under
+/// loss. `rollback_rate` is failed coordination attempts per attempt
+/// (completions + rollbacks).
+fn type2_point(loss: u32, seed: u64, smoke: bool, threads: usize) -> String {
+    let n0 = 16u64;
+    let inserts = if smoke { 120 } else { 280 };
+    let cfg = DexConfig::new(splitmix64(seed ^ 0x7209)).simplified();
+    let mut dex = DexNetwork::bootstrap(cfg, n0);
+    dex.set_heal_threads(threads);
+    dex.set_faults(Some(spec_for(loss, seed)));
+    let mut live = dex.node_ids();
+    let first = live.iter().map(|u| u.0).max().unwrap_or(0) + 1;
+    for i in 0..inserts {
+        let attach = live[(splitmix64(seed ^ 0xa77 ^ i as u64) % live.len() as u64) as usize];
+        let u = NodeId(first + i as u64);
+        dex.insert(u, attach);
+        live.push(u);
+    }
+    invariants::assert_ok(&dex);
+    let fs = dex.fault_stats();
+    let t2 = dex.walk_stats.type2;
+    assert!(t2 >= 1, "loss {loss}: growth never forced a type-2");
+    let attempts = t2 + fs.type2_rollbacks;
+    format!(
+        "{{\"loss_milli\": {loss}, \"inserts\": {inserts}, \"final_n\": {}, \
+         \"type2_steps\": {t2}, \"rollback_rate\": {:.6}, \"faults\": {}}}",
+        dex.n(),
+        fs.type2_rollbacks as f64 / attempts as f64,
+        fault_stats_json(&fs),
+    )
+}
+
+/// Waved vs sequential rounds-to-heal under 35% loss: identical batch
+/// scripts through the conflict-graph wave engine and the sequential
+/// baseline. The wave engine plans every walk on the message schedule,
+/// so its charged rounds/messages — and the healed network — must be
+/// *identical* to the sequential path's; the row records both sides plus
+/// the bit-identity check so a regression shows up as a diff.
+fn wave_point(seed: u64, smoke: bool, threads: usize) -> String {
+    let loss = 350u32;
+    let n0: u64 = if smoke { 48 } else { 256 };
+    let batches = if smoke { 3 } else { 8 };
+    let k = if smoke { 10 } else { 24 };
+    let spec = spec_for(loss, seed);
+    let cfg = DexConfig::new(splitmix64(seed ^ 0x3a7e)).simplified();
+    let mut waved = DexNetwork::bootstrap(cfg, n0);
+    let mut seq = DexNetwork::bootstrap(cfg, n0);
+    waved.set_heal_threads(threads);
+    waved.set_faults(Some(spec));
+    seq.set_faults(Some(spec));
+    let mut live = waved.node_ids();
+    let mut next = live.iter().map(|u| u.0).max().unwrap_or(0) + 1;
+    let (mut wr, mut sr, mut wm, mut sm) = (0u64, 0u64, 0u64, 0u64);
+    for b in 0..batches {
+        // Insert wave: k fresh nodes on distinct-ish attach points.
+        let joins: Vec<(NodeId, NodeId)> = (0..k)
+            .map(|i| {
+                let attach = live[(splitmix64(seed ^ 0xba7c ^ ((b * 64 + i) as u64))
+                    % live.len() as u64) as usize];
+                let u = NodeId(next);
+                next += 1;
+                (u, attach)
+            })
+            .collect();
+        let a = waved.insert_batch(&joins);
+        let c = seq.insert_batch_seq(&joins);
+        (wr, wm) = (wr + a.rounds, wm + a.messages);
+        (sr, sm) = (sr + c.rounds, sm + c.messages);
+        live.extend(joins.iter().map(|&(u, _)| u));
+        // Delete wave: k distinct victims.
+        let mut victims: Vec<NodeId> = Vec::with_capacity(k);
+        let mut draw = 0u64;
+        while victims.len() < k {
+            // The draw nonce advances on duplicates too, so the rejection
+            // loop always makes progress.
+            let v = live[(splitmix64(seed ^ 0xde1e ^ (b as u64 * 1024 + draw) ^ wr)
+                % live.len() as u64) as usize];
+            draw += 1;
+            if !victims.contains(&v) {
+                victims.push(v);
+            }
+        }
+        live.retain(|u| !victims.contains(u));
+        let a = waved.delete_batch(&victims);
+        let c = seq.delete_batch_seq(&victims);
+        (wr, wm) = (wr + a.rounds, wm + a.messages);
+        (sr, sm) = (sr + c.rounds, sm + c.messages);
+        invariants::assert_ok(&waved);
+        invariants::assert_ok(&seq);
+    }
+    assert_eq!(
+        waved.map.entries_sorted(),
+        seq.map.entries_sorted(),
+        "waved batch diverged from sequential under loss"
+    );
+    assert!(
+        waved.batch_stats.waved_ops > 0,
+        "wave engine disengaged under the fault spec"
+    );
+    format!(
+        "{{\"loss_milli\": {loss}, \"batches\": {batches}, \"batch_size\": {k}, \
+         \"waved_rounds\": {wr}, \"seq_rounds\": {sr}, \
+         \"waved_messages\": {wm}, \"seq_messages\": {sm}, \
+         \"waved_ops\": {}, \"wave_replans\": {}, \"bit_identical\": {}}}",
+        waved.batch_stats.waved_ops,
+        waved.fault_stats().wave_replans,
+        waved.map.entries_sorted() == seq.map.entries_sorted(),
+    )
+}
+
 /// One attack family re-run under loss with full invariant checking.
 fn attack_point(name: &str, sc: &Scenario, opts: &RunOptions) -> String {
     let reports = run_trials(sc, opts);
@@ -386,7 +564,47 @@ fn main() {
     }
     let _ = writeln!(json, "  ],");
 
-    // ---- Section 3: attack families under loss, invariants on -----------
+    // ---- Section 3: flood-aggregate degradation curve -------------------
+    let flood_k = if args.smoke { 16 } else { 64 };
+    let _ = writeln!(json, "  \"flood_degradation\": [");
+    for (i, &loss) in losses.iter().enumerate() {
+        let t0 = std::time::Instant::now();
+        let point = flood_point(frozen.graph(), loss, args.seed, flood_k, args.threads);
+        println!("flood loss {loss:>4}  ({:.2}s)", t0.elapsed().as_secs_f64());
+        let _ = writeln!(
+            json,
+            "    {point}{}",
+            if i + 1 < losses.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+
+    // ---- Section 4: type-2 coordination degradation curve ---------------
+    let _ = writeln!(json, "  \"type2_degradation\": [");
+    for (i, &loss) in losses.iter().enumerate() {
+        let t0 = std::time::Instant::now();
+        let point = type2_point(loss, args.seed, args.smoke, args.threads);
+        println!("type2 loss {loss:>4}  ({:.2}s)", t0.elapsed().as_secs_f64());
+        let _ = writeln!(
+            json,
+            "    {point}{}",
+            if i + 1 < losses.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+
+    // ---- Section 5: waved vs sequential healing under loss --------------
+    {
+        let t0 = std::time::Instant::now();
+        let point = wave_point(args.seed, args.smoke, args.threads);
+        println!(
+            "wave-vs-seq loss  350  ({:.2}s)",
+            t0.elapsed().as_secs_f64()
+        );
+        let _ = writeln!(json, "  \"wave_vs_sequential\": {point},");
+    }
+
+    // ---- Section 6: attack families under loss, invariants on -----------
     let attack_loss = 350;
     let attack_opts = RunOptions {
         check_invariants: true,

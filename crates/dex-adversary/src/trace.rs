@@ -8,8 +8,8 @@
 //! BD <victim> [<victim> ...]       # batch delete
 //! P <from> <key> <value>           # DHT put
 //! G <from> <key>                   # DHT get
-//! F <loss> <bwin> <bmilli> <latmin> <latmax> <pper> <plen> <wretry> <rretry> <fallback> <seed>
-//!                                  # install fault spec (11 fixed fields)
+//! F <loss> <bwin> <bmilli> <latmin> <latmax> <pper> <plen> <wretry> <rretry> <fallback> <fretry> <t2retry> <seed>
+//!                                  # install fault spec (13 fixed fields)
 //! FC                               # clear fault spec
 //! ```
 //! Blank lines and `#` comments are skipped. Parse errors carry 1-based
@@ -57,7 +57,7 @@ pub fn to_string(actions: &[Action]) -> String {
             Action::SetFaults { spec } => {
                 let _ = writeln!(
                     out,
-                    "F {} {} {} {} {} {} {} {} {} {} {}",
+                    "F {} {} {} {} {} {} {} {} {} {} {} {} {}",
                     spec.loss_milli,
                     spec.burst_window,
                     spec.burst_milli,
@@ -68,6 +68,8 @@ pub fn to_string(actions: &[Action]) -> String {
                     spec.walk_retries,
                     spec.route_retries,
                     spec.fallback_after,
+                    spec.flood_retries,
+                    spec.type2_retries,
                     spec.seed,
                 );
             }
@@ -155,8 +157,8 @@ pub fn parse(s: &str) -> Result<Vec<Action>, String> {
                 });
             }
             "F" => {
-                // 11 fixed fields — field order is the struct order, and
-                // the trailing-token check below rejects any 12th field.
+                // 13 fixed fields — field order is the struct order, and
+                // the trailing-token check below rejects any 14th field.
                 let parse_u32 = |p: Option<&str>| -> Result<u32, String> {
                     p.ok_or_else(|| format!("line {lineno}: missing field"))?
                         .parse::<u32>()
@@ -173,6 +175,8 @@ pub fn parse(s: &str) -> Result<Vec<Action>, String> {
                     walk_retries: parse_u32(parts.next())?,
                     route_retries: parse_u32(parts.next())?,
                     fallback_after: parse_u32(parts.next())?,
+                    flood_retries: parse_u32(parts.next())?,
+                    type2_retries: parse_u32(parts.next())?,
                     seed: parse_u64(parts.next())?,
                 };
                 out.push(Action::SetFaults { spec });
@@ -222,6 +226,8 @@ mod tests {
                     .with_partition(64, 8)
                     .with_retries(5, 3)
                     .with_fallback(2)
+                    .with_flood_retries(6)
+                    .with_type2_retries(2)
                     .with_seed(0xfa57_1e57),
             },
             Action::ClearFaults,
@@ -248,12 +254,12 @@ mod tests {
         assert!(parse("BD").is_err());
         assert!(parse("P 1 2").is_err());
         assert!(parse("G 1 2 3").is_err());
-        // F takes exactly 11 numeric fields; FC takes none.
-        assert!(parse("F 1 2 3 4 5 6 7 8 9 10").is_err()); // one short
-        assert!(parse("F 1 2 3 4 5 6 7 8 9 10 11 12").is_err()); // one extra
-        assert!(parse("F 1 2 3 4 5 6 7 8 9 ten 11").is_err());
+        // F takes exactly 13 numeric fields; FC takes none.
+        assert!(parse("F 1 2 3 4 5 6 7 8 9 10 11 12").is_err()); // one short
+        assert!(parse("F 1 2 3 4 5 6 7 8 9 10 11 12 13 14").is_err()); // one extra
+        assert!(parse("F 1 2 3 4 5 6 7 8 9 ten 11 12 13").is_err());
         assert!(parse("FC 1").is_err());
-        assert!(parse("F 0 0 0 0 0 0 0 0 0 0 0").is_ok());
+        assert!(parse("F 0 0 0 0 0 0 0 0 0 0 0 0 0").is_ok());
         assert!(parse("FC").is_ok());
     }
 

@@ -11,7 +11,7 @@ use proptest::prelude::*;
 
 /// Derive a full arbitrary `FaultSpec` from one u64 — every field is an
 /// independent splitmix64 slice, so the roundtrip proptest exercises the
-/// whole 11-field `F` record without a second tuple strategy.
+/// whole 13-field `F` record without a second tuple strategy.
 fn spec_from(x: u64) -> FaultSpec {
     let w = |i: u64| splitmix64(x ^ i);
     FaultSpec {
@@ -25,6 +25,8 @@ fn spec_from(x: u64) -> FaultSpec {
         walk_retries: (w(8) % 10) as u32,
         route_retries: (w(9) % 10) as u32,
         fallback_after: (w(10) % 6) as u32,
+        flood_retries: (w(12) % 8) as u32,
+        type2_retries: (w(13) % 8) as u32,
         seed: w(11),
     }
 }

@@ -43,13 +43,10 @@ impl DexNetwork {
         self.validate_insert_batch(joins);
         self.step_no += 1;
         self.net.begin_step();
-        // Under a fault spec every walk runs on the message schedule; the
-        // wave engine's speculative planning assumes the centralized walk
-        // oracle, so faulted batches heal through the sequential path.
-        let used_type2 = if joins.len() >= PAR_BATCH_MIN
-            && self.faults.is_none()
-            && !self.crossover_to_seq(joins.len())
-        {
+        // Under a fault spec the engine plans every walk on the message
+        // schedule (read-only, bit-identical to the faulted sequential
+        // path), so faulted batches keep their conflict-graph waves.
+        let used_type2 = if joins.len() >= PAR_BATCH_MIN && !self.crossover_to_seq(joins.len()) {
             let mut ops = std::mem::take(&mut self.heal.par.ops);
             ops.clear();
             ops.extend(joins.iter().map(|&(u, v)| BatchOp::Insert { u, v }));
@@ -167,9 +164,7 @@ impl DexNetwork {
         self.validate_delete_batch(victims);
         self.step_no += 1;
         self.net.begin_step();
-        let used_type2 = if victims.len() >= PAR_BATCH_MIN
-            && self.faults.is_none()
-            && !self.crossover_to_seq(victims.len())
+        let used_type2 = if victims.len() >= PAR_BATCH_MIN && !self.crossover_to_seq(victims.len())
         {
             let mut ops = std::mem::take(&mut self.heal.par.ops);
             ops.clear();

@@ -90,7 +90,16 @@ pub fn inflate(dex: &mut DexNetwork, pending: Option<(NodeId, NodeId)>) {
     let root = pending
         .map(|(_, v)| v)
         .unwrap_or_else(|| dex.net.graph().nodes_sorted()[0]);
-    flood_count(&mut dex.net, root, |_| false);
+    // Under a fault spec the announcement flood plus its convergecast
+    // (reservations + commit acks) run on the message schedule and may
+    // roll back and re-initiate; nothing below executes until a
+    // coordination round completes. Fault-free runs keep the exact
+    // centralized flood charge.
+    if dex.faults.is_some() {
+        dex.type2_coordinate(root);
+    } else {
+        flood_count(&mut dex.net, root, |_| false);
+    }
 
     // Phase 1: every node locally replaces each owned vertex x by its
     // cloud (Eq. 6–8). Local computation is free in the model; the
@@ -159,7 +168,13 @@ pub fn deflate(dex: &mut DexNetwork, root: NodeId) {
         .unwrap_or_else(|| panic!("cannot deflate below p = {p_old}: network too small for Z(p)"));
     let new_cycle = PCycle::new(p_new);
 
-    flood_count(&mut dex.net, root, |_| false);
+    // Same coordination contract as `inflate`: commit only after a
+    // complete announcement/reservation/ack round.
+    if dex.faults.is_some() {
+        dex.type2_coordinate(root);
+    } else {
+        flood_count(&mut dex.net, root, |_| false);
+    }
 
     // Phase 1: dominating vertices survive (y = ⌊x/α⌋, smallest preimage
     // keeps it); everything else is contracted away. As in `inflate`, the

@@ -7,10 +7,10 @@
 //! `random_walk_search`, and unit-latency scheduling charges exactly one
 //! round and one message per hop.
 //!
-//! Random scripts mix single ops, wave-sized batches (the zero-fault
-//! subject heals them sequentially on the message schedule while the
-//! oracle runs the parallel wave engine — the engine's own differential
-//! contract closes that gap), and DHT puts/gets. The subject runs at
+//! Random scripts mix single ops, wave-sized batches (≥ 8 ops engage the
+//! parallel wave engine in *both* worlds — the faulted subject plans its
+//! walks on the message schedule and stays waved), flood- and
+//! type-2-triggering churn, and DHT puts/gets. The subject runs at
 //! simulator fan-out 1, 3 and 8 workers; everything must match the
 //! oracle bit-for-bit in all three.
 
@@ -24,8 +24,8 @@ use proptest::prelude::*;
 enum Step {
     SingleInsert,
     SingleDelete,
-    /// Batch insert of `k` fresh nodes (k ≥ 8 engages the oracle's wave
-    /// engine; the faulted subject always heals sequentially).
+    /// Batch insert of `k` fresh nodes (k ≥ 8 engages the wave engine
+    /// in both the subject and the oracle).
     Inserts(u8),
     /// Batch delete of `k` distinct victims.
     Deletes(u8),
@@ -158,8 +158,9 @@ fn assert_networks_identical(a: &DexNetwork, b: &DexNetwork) {
 }
 
 /// Drive the same script through a zero-fault message-level subject and
-/// the centralized oracle.
-fn run_script(n0: u64, seed: u64, steps: &[Step], threads: usize) {
+/// the centralized oracle. Returns the subject so callers can assert on
+/// what the script actually exercised (misses, type-2 steps, …).
+fn run_script(n0: u64, seed: u64, steps: &[Step], threads: usize) -> DexNetwork {
     let cfg = DexConfig::new(splitmix64(seed ^ 0xfa17)).simplified();
     let mut subject = DexNetwork::bootstrap(cfg, n0);
     let mut oracle = DexNetwork::bootstrap(cfg, n0);
@@ -228,8 +229,14 @@ fn run_script(n0: u64, seed: u64, steps: &[Step], threads: usize) {
     assert_eq!(fs.reinitiations, 0);
     assert_eq!(fs.heal_fallbacks, 0);
     assert_eq!(fs.dht_abandoned, 0);
+    assert_eq!(fs.flood_retries, 0, "zero faults re-flooded");
+    assert_eq!(fs.floods_partial, 0, "zero faults degraded a flood");
+    assert_eq!(fs.type2_rollbacks, 0, "zero faults rolled back a type-2");
+    assert_eq!(fs.type2_reinitiations, 0);
+    assert_eq!(fs.wave_replans, 0, "replans counted under a zero spec");
     assert!(fs.sent > 0, "script never exercised the simulator");
     invariants::assert_ok(&subject);
+    subject
 }
 
 proptest! {
@@ -274,6 +281,83 @@ fn zero_fault_fixed_script_matches() {
     ];
     for threads in [1usize, 3, 8] {
         run_script(120, 0xbeef, &steps, threads);
+    }
+}
+
+/// Flood- and type-2-triggering script: a tiny bootstrap (p ∈ (64, 128))
+/// flooded with insert-heavy churn runs the spare pool dry, forcing walk
+/// misses (→ message-scheduled flood counts) and at least one inflation
+/// (→ message-scheduled type-2 coordination). The zero-fault subject
+/// must still match the centralized oracle bit-for-bit at every fan-out.
+#[test]
+fn zero_fault_flood_and_type2_script_matches() {
+    let mut steps = Vec::new();
+    for _ in 0..7 {
+        steps.push(Step::Inserts(19));
+    }
+    steps.extend([Step::Deletes(10), Step::DhtPut, Step::DhtGet]);
+    for threads in [1usize, 3, 8] {
+        let subject = run_script(16, 0xf100d, &steps, threads);
+        assert!(subject.walk_stats.type2 >= 1, "script never ran a type-2");
+        assert!(
+            subject.walk_stats.misses >= 1,
+            "script never missed → never flooded"
+        );
+    }
+}
+
+/// The wave engine must stay engaged under a real fault spec and produce
+/// *exactly* the interleaved faulted-sequential result: same graph, same
+/// Φ, same DHT, same charges, same fault counters (modulo the
+/// planner-only `wave_replans` counter) — at every worker count.
+#[test]
+fn faulted_waved_batch_matches_faulted_sequential() {
+    let spec = FaultSpec::zero()
+        .with_loss(350)
+        .with_latency(1, 3)
+        .with_retries(4, 4)
+        .with_fallback(2)
+        .with_seed(0x57a7e);
+    for threads in [1usize, 3, 8] {
+        let cfg = DexConfig::new(0x3a7b_a7c4).simplified();
+        let mut waved = DexNetwork::bootstrap(cfg, 140);
+        let mut seq = DexNetwork::bootstrap(cfg, 140);
+        waved.set_heal_threads(threads);
+        waved.set_faults(Some(spec));
+        seq.set_faults(Some(spec));
+        let mut script = Script::new(&waved, 0x5e9_0b47);
+        for step in [
+            Step::Inserts(12),
+            Step::Deletes(9),
+            Step::Inserts(16),
+            Step::Deletes(8),
+        ] {
+            let pair = match step {
+                Step::Inserts(k) => {
+                    let joins = script.joins(k);
+                    let mw = waved.insert_batch(&joins);
+                    let ms = seq.insert_batch_seq(&joins);
+                    script.live.extend(joins.iter().map(|&(u, _)| u));
+                    Some((mw, ms))
+                }
+                Step::Deletes(k) => script
+                    .victims(k)
+                    .map(|v| (waved.delete_batch(&v), seq.delete_batch_seq(&v))),
+                _ => unreachable!(),
+            };
+            let (mw, ms) = pair.expect("bootstrap is large enough for every batch");
+            assert_metrics_match(&mw, &ms);
+            invariants::assert_ok(&waved);
+        }
+        assert_networks_identical(&waved, &seq);
+        assert!(
+            waved.batch_stats.waved_ops > 0,
+            "wave engine disengaged under the fault spec"
+        );
+        let mut fw = waved.fault_stats();
+        fw.wave_replans = 0; // planner-only counter; sequential never plans
+        assert_eq!(fw, seq.fault_stats(), "fault counters diverged");
+        assert!(fw.sent > fw.delivered, "loss never fired");
     }
 }
 
