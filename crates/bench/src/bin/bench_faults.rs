@@ -116,8 +116,8 @@ fn spec_for(loss: u32, seed: u64) -> FaultSpec {
 
 fn summary_json(s: &Summary) -> String {
     format!(
-        "{{\"count\": {}, \"mean\": {:.4}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}",
-        s.count, s.mean, s.p50, s.p95, s.p99, s.max
+        "{{\"count\": {}, \"mean\": {:.4}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}}",
+        s.count, s.mean, s.p50, s.p95, s.p99, s.p999, s.max
     )
 }
 

@@ -32,7 +32,7 @@ use dex::core::VirtualMapping;
 use dex::prelude::*;
 use dex::sim::parallel::par_map;
 use dex::sim::rng::splitmix64;
-use dex::sim::{HistoryMode, StepLog};
+use dex::sim::{HasStepLog, HistoryMode, StepLog};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -559,6 +559,12 @@ impl ChurnDriver {
     }
 }
 
+impl HasStepLog for ChurnTrial {
+    fn step_log(&self) -> &StepLog {
+        &self.log
+    }
+}
+
 struct ChurnTrial {
     log: StepLog,
     ops: u64,
@@ -634,8 +640,8 @@ fn churn_measure(
 
 fn summary_json(s: &Summary) -> String {
     format!(
-        "{{\"count\": {}, \"mean\": {:.4}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}",
-        s.count, s.mean, s.p50, s.p95, s.p99, s.max
+        "{{\"count\": {}, \"mean\": {:.4}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}}",
+        s.count, s.mean, s.p50, s.p95, s.p99, s.p999, s.max
     )
 }
 
@@ -726,7 +732,7 @@ pub fn run_heal_bench(opts: &HealBenchOptions) -> String {
             churn_trial(n0, steps, scale_trial_seed(opts.seed, n0, t), opts.smoke)
         });
         let trials_wall = t0.elapsed().as_secs_f64();
-        let agg = StepAggregate::of_logs(reports.iter().map(|r| &r.log));
+        let agg = StepAggregate::pooled(&reports);
         let ops: u64 = reports.iter().map(|r| r.ops).sum();
         let mut digest = splitmix64(n0);
         for r in &reports {

@@ -12,6 +12,7 @@ use rand::{Rng, SeedableRng};
 pub mod alloc;
 pub mod batch;
 pub mod heal;
+pub mod serve;
 
 /// A churn schedule that can be applied identically to different overlays:
 /// each entry is (insert?, index into the live node list) — indices rather

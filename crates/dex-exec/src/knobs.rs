@@ -86,6 +86,27 @@ pub const DEX_MLP_KERNELS: Knob = Knob {
           the memory access schedule (benchmarking / CI byte-diff knob)",
 };
 
+/// Ingestion-queue bound override for `bench_serve` (experiment input).
+pub const DEX_SERVE_QUEUE_CAP: Knob = Knob {
+    name: "DEX_SERVE_QUEUE_CAP",
+    default: "unset (bench_serve uses its --queue-cap flag, default 4096)",
+    doc: "bench-harness experiment input: overrides the bounded per-shard \
+          ingestion-queue capacity of every serving-harness run bench_serve \
+          launches (arrivals beyond it are deterministically shed); library \
+          crates never read it, and its value lands in the output config \
+          header",
+};
+
+/// Shard-count override for `bench_serve` (experiment input).
+pub const DEX_SERVE_SHARDS: Knob = Knob {
+    name: "DEX_SERVE_SHARDS",
+    default: "unset (bench_serve uses its --shards flag, default 4)",
+    doc: "bench-harness experiment input: overrides the number of key-space \
+          shards (independent DexNetwork instances) bench_serve spreads \
+          traffic over; library crates never read it, and its value lands \
+          in the output config header",
+};
+
 /// Walk-pipeline depth (`dex_graph::par::walk_pipeline_k`).
 pub const DEX_WALK_K: Knob = Knob {
     name: "DEX_WALK_K",
@@ -102,6 +123,8 @@ pub const REGISTRY: &[Knob] = &[
     DEX_FAULT_RETRIES,
     DEX_FAULT_SEED,
     DEX_MLP_KERNELS,
+    DEX_SERVE_QUEUE_CAP,
+    DEX_SERVE_SHARDS,
     DEX_WALK_K,
 ];
 
@@ -165,6 +188,26 @@ pub fn fault_seed() -> Option<u64> {
     raw(&DEX_FAULT_SEED)?.trim().parse::<u64>().ok()
 }
 
+/// `DEX_SERVE_SHARDS` parsed: a positive shard count, else `None`
+/// (bench_serve falls back to its `--shards` flag).
+pub fn serve_shards() -> Option<usize> {
+    raw(&DEX_SERVE_SHARDS)?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&s| s > 0)
+}
+
+/// `DEX_SERVE_QUEUE_CAP` parsed: a positive per-shard queue bound, else
+/// `None` (bench_serve falls back to its `--queue-cap` flag).
+pub fn serve_queue_cap() -> Option<usize> {
+    raw(&DEX_SERVE_QUEUE_CAP)?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&c| c > 0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +248,12 @@ mod tests {
         }
         let _ = fault_retries();
         let _ = fault_seed();
+        if let Some(s) = serve_shards() {
+            assert!(s > 0);
+        }
+        if let Some(c) = serve_queue_cap() {
+            assert!(c > 0);
+        }
     }
 
     #[test]

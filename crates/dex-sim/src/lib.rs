@@ -31,6 +31,8 @@ pub mod parallel;
 pub mod rng;
 pub mod tokens;
 
-pub use metrics::{RecoveryKind, StepAggregate, StepKind, StepLog, StepMetrics, Summary};
+pub use metrics::{
+    HasStepLog, RecoveryKind, StepAggregate, StepKind, StepLog, StepMetrics, Summary,
+};
 pub use msim::{FaultSpec, FaultStats, OpResult, OpStatus, RouteOp, RunReport, WalkOp};
 pub use network::{HistoryMode, Network, StepTotals};

@@ -87,6 +87,10 @@ pub struct Summary {
     pub p95: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// 99.9th percentile — the serving harness's headline tail number
+    /// (same nearest-rank scheme as p95/p99; equals `max` below 1000
+    /// samples, as nearest-rank must).
+    pub p999: u64,
     /// Maximum.
     pub max: u64,
 }
@@ -102,6 +106,7 @@ impl Summary {
                 p50: 0,
                 p95: 0,
                 p99: 0,
+                p999: 0,
                 max: 0,
             };
         }
@@ -120,6 +125,7 @@ impl Summary {
             p50: pct(0.50),
             p95: pct(0.95),
             p99: pct(0.99),
+            p999: pct(0.999),
             max: *v.last().expect("nonempty"),
         }
     }
@@ -211,6 +217,15 @@ impl StepAggregate {
         }
     }
 
+    /// Pool the [`StepLog`]s of a slice of reports into one aggregate —
+    /// the single pooling entry point every trial/shard harness shares
+    /// (`dex-workload` trials, the bench churn trials, the serving
+    /// harness's per-shard logs). Each report exposes its log through
+    /// [`HasStepLog`].
+    pub fn pooled<T: HasStepLog>(reports: &[T]) -> StepAggregate {
+        StepAggregate::of_logs(reports.iter().map(|r| r.step_log()))
+    }
+
     /// Pool several trials' [`StepLog`]s into one aggregate (percentiles
     /// over the concatenated per-step samples, matching
     /// [`StepAggregate::of`] on the equivalent `StepMetrics` stream).
@@ -230,12 +245,27 @@ impl StepAggregate {
     }
 }
 
+/// Anything that carries a per-step [`StepLog`] — the hook
+/// [`StepAggregate::pooled`] aggregates over, so every report type
+/// (workload trials, bench churn trials, serve shards) pools through the
+/// same code path instead of hand-rolling `of_logs` adapters.
+pub trait HasStepLog {
+    /// The report's columnar per-step log.
+    fn step_log(&self) -> &StepLog;
+}
+
+impl HasStepLog for StepLog {
+    fn step_log(&self) -> &StepLog {
+        self
+    }
+}
+
 impl std::fmt::Display for Summary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "mean {:.1}  p50 {}  p95 {}  p99 {}  max {}  (k={})",
-            self.mean, self.p50, self.p95, self.p99, self.max, self.count
+            "mean {:.1}  p50 {}  p95 {}  p99 {}  p999 {}  max {}  (k={})",
+            self.mean, self.p50, self.p95, self.p99, self.p999, self.max, self.count
         )
     }
 }
@@ -259,7 +289,22 @@ mod tests {
         assert_eq!(s.p50, 50);
         assert_eq!(s.p95, 95);
         assert_eq!(s.p99, 99); // index round(99·0.99) = 98 → value 99
+        assert_eq!(s.p999, 100, "below 1000 samples p999 is the max");
         assert!((s.mean - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_p999_resolves_above_1000_samples() {
+        // 2000 samples: nearest-rank p999 is the ⌈0.999·2000⌉ = 1998th
+        // value — strictly below the max, unlike p99's neighborhood.
+        let s = Summary::of(1..=2000u64);
+        assert_eq!(s.p999, 1998);
+        assert_eq!(s.p99, 1980);
+        assert_eq!(s.max, 2000);
+        // Exactly 1000 samples: rank ⌈0.999·1000⌉ = 999 → value 999.
+        let s = Summary::of(1..=1000u64);
+        assert_eq!(s.p999, 999);
+        assert_eq!(s.max, 1000);
     }
 
     #[test]
@@ -267,6 +312,7 @@ mod tests {
         let s = Summary::of([7u64]);
         assert_eq!(s.p50, 7);
         assert_eq!(s.p95, 7);
+        assert_eq!(s.p999, 7);
         assert_eq!(s.max, 7);
     }
 
@@ -337,7 +383,17 @@ mod tests {
             StepAggregate::of(&steps),
             "pooled log percentiles must match the StepMetrics path"
         );
+        // The shared report-pooling entry point is the same computation.
+        assert_eq!(
+            StepAggregate::pooled(&[a.clone(), b.clone()]),
+            StepAggregate::of(&steps),
+            "StepAggregate::pooled must match of_logs"
+        );
         assert_eq!(StepAggregate::of_logs([]).steps, 0);
+        assert_eq!(StepAggregate::pooled::<StepLog>(&[]).steps, 0);
+        // p999 pools over the concatenated samples like every other rank.
+        let agg = StepAggregate::of_logs([&a, &b]);
+        assert_eq!(agg.rounds.p999, agg.rounds.max, "39 samples: p999 = max");
     }
 
     #[test]

@@ -42,8 +42,10 @@
 
 pub mod gen;
 pub mod runner;
+pub mod serve;
 
 pub use runner::{pool_aggregate, run_scenario, run_trials, RunOptions, TrialReport};
+pub use serve::{run_serve, Arrivals, ServeOptions, ServeReport};
 
 /// Victim selection policy for correlated deletion bursts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -13,7 +13,7 @@ use dex_graph::fxhash::FxHashMap;
 use dex_graph::spectral::Lambda2Solver;
 use dex_sim::parallel::{default_threads, par_map};
 use dex_sim::rng::splitmix64;
-use dex_sim::{HistoryMode, StepAggregate, StepLog, StepMetrics};
+use dex_sim::{HasStepLog, HistoryMode, StepAggregate, StepLog, StepMetrics};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -153,10 +153,16 @@ pub fn run_trials(sc: &Scenario, opts: &RunOptions) -> Vec<TrialReport> {
     })
 }
 
+impl HasStepLog for TrialReport {
+    fn step_log(&self) -> &StepLog {
+        &self.log
+    }
+}
+
 /// Pool all trials' per-step metrics into one percentile aggregate
 /// (streams from the compact logs — works in every retention mode).
 pub fn pool_aggregate(reports: &[TrialReport]) -> StepAggregate {
-    StepAggregate::of_logs(reports.iter().map(|r| &r.log))
+    StepAggregate::pooled(reports)
 }
 
 /// Run one trial sequentially.
